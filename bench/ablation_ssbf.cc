@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablation (Section 2.2 / [17]): tagged vs untagged SSBF filtering.
+ *
+ * Both filters observe the committed store stream of each benchmark
+ * and are tested by every committed load with the same SSNnvul
+ * policy (non-speculative loads: SSNcommit at execution, which this
+ * offline study approximates as the SSN of the youngest store older
+ * than the load). The untagged filter aliases and therefore fires
+ * spuriously; the tagged filter adds tags (and per-set FIFO with
+ * eviction floors) to cut spurious re-executions, and is the only
+ * one that can support NoSQ's equality test at all.
+ */
+
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "common/table.hh"
+#include "nosq/ssbf.hh"
+#include "nosq/tssbf.hh"
+#include "sim/experiment.hh"
+#include "workload/functional.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+using namespace nosq;
+
+namespace {
+
+struct FilterRates
+{
+    std::uint64_t loads = 0;
+    std::uint64_t vulnerable = 0;        // truly needed re-execution
+    std::uint64_t spuriousTagged = 0;    // filter fired needlessly
+    std::uint64_t spuriousUntagged = 0;
+    std::uint64_t missedTagged = 0;      // must stay zero (safety)
+    std::uint64_t missedUntagged = 0;
+};
+
+FilterRates
+compare(const Program &program, std::uint64_t max_insts)
+{
+    FunctionalSim sim(program);
+    Tssbf tagged({128, 4});       // 1KB (paper geometry)
+    UntaggedSsbf untagged(1024);  // 8KB of SSNs
+
+    // Model each load as having executed speculatively while the
+    // stores of the preceding `window` instructions were still in
+    // flight: SSNnvul is the youngest store older than that window.
+    constexpr std::uint64_t window = 64;
+    std::deque<std::pair<InstSeq, SSN>> recent_stores;
+
+    FilterRates out;
+    DynInst di;
+    std::uint64_t insts = 0;
+    while (insts++ < max_insts && sim.step(di)) {
+        if (di.isStore()) {
+            tagged.storeUpdate(di.addr, di.size, di.ssn);
+            untagged.storeUpdate(di.addr, di.size, di.ssn);
+            recent_stores.emplace_back(di.seq, di.ssn);
+            while (recent_stores.size() > window)
+                recent_stores.pop_front();
+        } else if (di.isLoad()) {
+            ++out.loads;
+            SSN nvul = sim.storeCount();
+            for (const auto &[seq, ssn] : recent_stores) {
+                if (di.seq - seq < window) {
+                    nvul = ssn - 1; // oldest in-window store
+                    break;
+                }
+            }
+            const bool truly_vulnerable =
+                di.youngestWriterSsn() > nvul;
+            out.vulnerable += truly_vulnerable;
+            const bool ft = tagged.needsReexecInequality(
+                di.addr, di.size, nvul);
+            const bool fu = untagged.needsReexecInequality(
+                di.addr, di.size, nvul);
+            out.spuriousTagged += ft && !truly_vulnerable;
+            out.spuriousUntagged += fu && !truly_vulnerable;
+            out.missedTagged += truly_vulnerable && !ft;
+            out.missedUntagged += truly_vulnerable && !fu;
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const std::uint64_t insts = defaultSimInsts();
+
+    std::printf("Ablation: tagged (1KB T-SSBF) vs untagged (8KB "
+                "SSBF) filter precision\n(spurious re-execution "
+                "rate; lower is better)\n\n");
+
+    TextTable table;
+    table.header({"bench", "vulnerable%", "tagged spurious%",
+                  "untagged spurious%", "missed (must be 0)"});
+
+    std::vector<double> tagged_rates, untagged_rates;
+    for (const auto *profile : selectedProfiles()) {
+        const Program program = synthesize(*profile, 1);
+        const FilterRates r = compare(program, insts);
+        const double tr = 100.0 * r.spuriousTagged / r.loads;
+        const double ur = 100.0 * r.spuriousUntagged / r.loads;
+        tagged_rates.push_back(tr);
+        untagged_rates.push_back(ur);
+        table.row({profile->name,
+                   fmtDouble(100.0 * r.vulnerable / r.loads, 2),
+                   fmtDouble(tr, 3), fmtDouble(ur, 3),
+                   std::to_string(r.missedTagged +
+                                  r.missedUntagged)});
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nMean spurious rate: tagged %s%%, untagged %s%%.\n"
+                "Paper shape check: tags cut spurious re-executions "
+                "by roughly an order of\nmagnitude at lower storage, "
+                "and only the tagged filter supports the\nequality "
+                "test bypassed loads require.\n",
+                fmtDouble(amean(tagged_rates), 3).c_str(),
+                fmtDouble(amean(untagged_rates), 3).c_str());
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Regenerates Figure 2: execution time on the 128-instruction-window
+ * machine, relative to a conventional microarchitecture with an
+ * associative store queue and perfect load scheduling, for
+ *   (i)   associative SQ with StoreSets scheduling,
+ *   (ii)  NoSQ without delay,
+ *   (iii) NoSQ with delay, and
+ *   (iv)  an idealized NoSQ with a perfect bypassing predictor,
+ * with the ideal baseline's IPC printed per benchmark and geometric
+ * means per suite. Values below 1.000 are speedups over the ideal
+ * baseline.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+using namespace nosq;
+
+int
+main()
+{
+    const std::uint64_t insts = defaultSimInsts();
+    const std::uint64_t warmup = insts / 3;
+
+    std::printf("Figure 2: relative execution time, 128-entry "
+                "window\n");
+    std::printf("(normalized to associative SQ + perfect "
+                "scheduling; %llu measured insts)\n\n",
+                static_cast<unsigned long long>(insts));
+
+    TextTable table;
+    table.header({"bench", "ideal IPC", "(paper)", "assoc-SQ",
+                  "NoSQ no-dly", "NoSQ dly", "perfect SMB"});
+
+    std::map<Suite, std::vector<std::vector<double>>> ratios;
+    Suite last_suite = Suite::Media;
+    bool first = true;
+
+    auto flush_mean = [&](Suite suite) {
+        auto &rs = ratios[suite];
+        if (rs.empty())
+            return;
+        std::vector<std::string> row{
+            std::string(suiteName(suite)) + ".gmean", "", ""};
+        for (const auto &series : rs)
+            row.push_back(fmtRatio(geomean(series)));
+        table.row(row);
+        table.separator();
+        rs.clear();
+    };
+
+    for (const auto &profile : allProfiles()) {
+        if (!first && profile.suite != last_suite)
+            flush_mean(last_suite);
+        first = false;
+        last_suite = profile.suite;
+
+        const Program program = synthesize(profile, 1);
+
+        auto run_mode = [&](LsuMode mode, bool delay) {
+            UarchParams p = makeParams(mode);
+            p.nosqDelay = delay;
+            OooCore core(p, program);
+            return core.run(insts, warmup);
+        };
+
+        const SimResult base = run_mode(LsuMode::SqPerfect, true);
+        const SimResult sets = run_mode(LsuMode::SqStoreSets, true);
+        const SimResult nosq_nd = run_mode(LsuMode::Nosq, false);
+        const SimResult nosq_d = run_mode(LsuMode::Nosq, true);
+        const SimResult ideal = run_mode(LsuMode::NosqPerfect, true);
+
+        const double base_cycles =
+            static_cast<double>(base.cycles);
+        const std::vector<double> rel = {
+            sets.cycles / base_cycles,
+            nosq_nd.cycles / base_cycles,
+            nosq_d.cycles / base_cycles,
+            ideal.cycles / base_cycles,
+        };
+
+        table.row({profile.name, fmtDouble(base.ipc(), 2),
+                   fmtDouble(profile.idealIpc, 2), fmtRatio(rel[0]),
+                   fmtRatio(rel[1]), fmtRatio(rel[2]),
+                   fmtRatio(rel[3])});
+
+        auto &rs = ratios[profile.suite];
+        if (rs.empty())
+            rs.resize(4);
+        for (std::size_t i = 0; i < 4; ++i)
+            rs[i].push_back(rel[i]);
+    }
+    flush_mean(last_suite);
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nPaper shape checks:\n"
+                "  - StoreSets tracks the ideal scheduler closely\n"
+                "    (within ~2%% everywhere in the paper)\n"
+                "  - NoSQ with delay matches or slightly beats the\n"
+                "    conventional design on average (paper: ~2%%)\n"
+                "  - perfect SMB bounds the benefit (~3.7%% in the\n"
+                "    paper); realistic NoSQ captures about half\n");
+    return 0;
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Regenerates Figure 5: bypassing predictor sensitivity on the
+ * selected benchmark subset.
+ *
+ * Top (``--sweep=capacity``, default): relative execution time for
+ * total predictor capacities of 512, 1K, 2K (paper default), 4K,
+ * and unbounded entries, hybrid storage split equally, 8 history
+ * bits.
+ *
+ * Bottom (``--sweep=history``): 4, 6, 8, 10, and 12 path history
+ * bits at 2K entries and at unbounded capacity.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+using namespace nosq;
+
+namespace {
+
+SimResult
+runNosq(const Program &program, unsigned entries_per_table,
+        unsigned history_bits, bool unbounded, std::uint64_t insts,
+        std::uint64_t warmup)
+{
+    UarchParams p = makeParams(LsuMode::Nosq);
+    p.bypass.entriesPerTable = entries_per_table;
+    p.bypass.historyBits = history_bits;
+    p.bypass.unbounded = unbounded;
+    OooCore core(p, program);
+    return core.run(insts, warmup);
+}
+
+void
+sweepCapacity(std::uint64_t insts, std::uint64_t warmup)
+{
+    std::printf("Figure 5 (top): predictor capacity sweep\n");
+    std::printf("(total entries across both tables; relative to "
+                "assoc SQ + perfect scheduling)\n\n");
+
+    // Total capacities; entriesPerTable is half (equal split). The
+    // paper sweeps 512..Inf; the synthetic programs have roughly 10x
+    // fewer static loads than SPEC, so the capacity knee sits lower
+    // and the sweep extends down to 64 entries to expose it.
+    const std::vector<std::pair<std::string, unsigned>> capacities =
+        {{"64", 32}, {"128", 64}, {"256", 128}, {"512", 256},
+         {"1K", 512}, {"2K", 1024}, {"4K", 2048}, {"Inf", 0}};
+
+    TextTable table;
+    std::vector<std::string> head{"bench"};
+    for (const auto &[label, entries] : capacities)
+        head.push_back(label);
+    table.header(head);
+
+    std::map<Suite, std::vector<std::vector<double>>> ratios;
+    Suite last_suite = Suite::Media;
+    bool first = true;
+
+    auto flush_mean = [&](Suite suite) {
+        auto &rs = ratios[suite];
+        if (rs.empty())
+            return;
+        std::vector<std::string> row{
+            std::string(suiteName(suite)) + ".gmean"};
+        for (const auto &series : rs)
+            row.push_back(fmtRatio(geomean(series)));
+        table.row(row);
+        table.separator();
+        rs.clear();
+    };
+
+    for (const auto *profile : selectedProfiles()) {
+        if (!first && profile->suite != last_suite)
+            flush_mean(last_suite);
+        first = false;
+        last_suite = profile->suite;
+
+        const Program program = synthesize(*profile, 1);
+        UarchParams base_params = makeParams(LsuMode::SqPerfect);
+        OooCore base_core(base_params, program);
+        const double base_cycles = static_cast<double>(
+            base_core.run(insts, warmup).cycles);
+
+        std::vector<std::string> row{profile->name};
+        auto &rs = ratios[profile->suite];
+        if (rs.empty())
+            rs.resize(capacities.size());
+        for (std::size_t i = 0; i < capacities.size(); ++i) {
+            const auto &[label, entries] = capacities[i];
+            const SimResult r =
+                runNosq(program, entries ? entries : 1024, 8,
+                        entries == 0, insts, warmup);
+            const double rel = r.cycles / base_cycles;
+            row.push_back(fmtRatio(rel));
+            rs[i].push_back(rel);
+        }
+        table.row(row);
+    }
+    flush_mean(last_suite);
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nPaper shape check: 2K is nearly as good as "
+                "unbounded; 512 entries costs\nSPECint ~4%% but "
+                "barely hurts MediaBench/SPECfp.\n");
+}
+
+void
+sweepHistory(std::uint64_t insts, std::uint64_t warmup)
+{
+    std::printf("Figure 5 (bottom): path history length sweep\n");
+    std::printf("(2K-entry predictor, with unbounded capacity in "
+                "parentheses)\n\n");
+
+    // The paper sweeps 4..12 bits; 0 and 2 bits are added because
+    // the synthetic path-dependent patterns have shorter signatures
+    // than SPEC's, putting the knee below 4 bits.
+    const std::vector<unsigned> history_bits = {0, 2, 4, 8, 12};
+
+    TextTable table;
+    std::vector<std::string> head{"bench"};
+    for (const unsigned bits : history_bits)
+        head.push_back(std::to_string(bits) + "b");
+    table.header(head);
+
+    std::map<Suite, std::vector<std::vector<double>>> ratios;
+    Suite last_suite = Suite::Media;
+    bool first = true;
+
+    auto flush_mean = [&](Suite suite) {
+        auto &rs = ratios[suite];
+        if (rs.empty())
+            return;
+        std::vector<std::string> row{
+            std::string(suiteName(suite)) + ".gmean"};
+        for (std::size_t i = 0; i < history_bits.size(); ++i) {
+            row.push_back(fmtRatio(geomean(rs[2 * i])) + " (" +
+                          fmtRatio(geomean(rs[2 * i + 1])) + ")");
+        }
+        table.row(row);
+        table.separator();
+        rs.clear();
+    };
+
+    for (const auto *profile : selectedProfiles()) {
+        if (!first && profile->suite != last_suite)
+            flush_mean(last_suite);
+        first = false;
+        last_suite = profile->suite;
+
+        const Program program = synthesize(*profile, 1);
+        UarchParams base_params = makeParams(LsuMode::SqPerfect);
+        OooCore base_core(base_params, program);
+        const double base_cycles = static_cast<double>(
+            base_core.run(insts, warmup).cycles);
+
+        std::vector<std::string> row{profile->name};
+        auto &rs = ratios[profile->suite];
+        if (rs.empty())
+            rs.resize(2 * history_bits.size());
+        for (std::size_t i = 0; i < history_bits.size(); ++i) {
+            const SimResult bounded = runNosq(
+                program, 1024, history_bits[i], false, insts,
+                warmup);
+            const SimResult unbounded = runNosq(
+                program, 1024, history_bits[i], true, insts,
+                warmup);
+            const double rb = bounded.cycles / base_cycles;
+            const double ru = unbounded.cycles / base_cycles;
+            row.push_back(fmtRatio(rb) + " (" + fmtRatio(ru) + ")");
+            rs[2 * i].push_back(rb);
+            rs[2 * i + 1].push_back(ru);
+        }
+        table.row(row);
+    }
+    flush_mean(last_suite);
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nPaper shape check: 6-8 bits capture most of the "
+                "benefit; longer histories\nhurt the bounded "
+                "predictor through capacity pressure.\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t insts = defaultSimInsts();
+    const std::uint64_t warmup = insts / 3;
+
+    bool capacity = true;
+    bool history = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep=capacity") == 0)
+            history = false;
+        else if (std::strcmp(argv[i], "--sweep=history") == 0)
+            capacity = false;
+    }
+    if (capacity)
+        sweepCapacity(insts, warmup);
+    if (capacity && history)
+        std::printf("\n");
+    if (history)
+        sweepHistory(insts, warmup);
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Structure micro-benchmarks (google-benchmark) supporting the
+ * paper's motivation (Sections 1 and 5): associative store queue
+ * search latency grows with queue size, while NoSQ's replacement
+ * structures -- the SSN-indexed SRQ, the set-associative T-SSBF,
+ * and the bypassing predictor -- are constant-time indexed lookups.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "lsu/store_queue.hh"
+#include "nosq/bypass_predictor.hh"
+#include "nosq/srq.hh"
+#include "nosq/tssbf.hh"
+
+namespace {
+
+using namespace nosq;
+
+/** Associative SQ search at various queue sizes. */
+void
+BM_StoreQueueSearch(benchmark::State &state)
+{
+    const std::size_t entries = state.range(0);
+    StoreQueue sq(entries);
+    Rng rng(42);
+    for (std::size_t i = 0; i < entries; ++i) {
+        sq.allocate(i + 1, 2 * i + 1);
+        sq.execute(i + 1, 0x1000 + 8 * rng.below(4 * entries), 8,
+                   rng.next());
+    }
+    const InstSeq load_seq = 2 * entries + 10;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const Addr addr = 0x1000 + 8 * rng.below(4 * entries);
+        const auto r = sq.search(addr, 8, load_seq);
+        sink += r.entriesSearched;
+        benchmark::DoNotOptimize(sink);
+    }
+    state.counters["entries"] =
+        static_cast<double>(entries);
+}
+BENCHMARK(BM_StoreQueueSearch)->Arg(24)->Arg(48)->Arg(96)->Arg(192)
+    ->Arg(384);
+
+/** SSN-indexed store register queue lookup (NoSQ's replacement). */
+void
+BM_SrqIndexedRead(benchmark::State &state)
+{
+    StoreRegisterQueue srq(256);
+    Rng rng(42);
+    for (SSN s = 0; s < 256; ++s)
+        srq.write(s, {static_cast<PhysReg>(s % 160), 3, false});
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sink += srq.read(rng.below(1u << 20)).dtag;
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_SrqIndexedRead);
+
+/** T-SSBF lookup + store update. */
+void
+BM_TssbfAccess(benchmark::State &state)
+{
+    Tssbf filter({128, 4});
+    Rng rng(7);
+    SSN ssn = 1;
+    for (auto _ : state) {
+        const Addr addr = 0x1000 + 8 * rng.below(4096);
+        filter.storeUpdate(addr, 8, ssn++);
+        benchmark::DoNotOptimize(
+            filter.needsReexecInequality(addr, 8, ssn / 2));
+    }
+}
+BENCHMARK(BM_TssbfAccess);
+
+/** Bypassing predictor lookup at paper geometry (2 x 1K, 4-way). */
+void
+BM_BypassPredictorLookup(benchmark::State &state)
+{
+    BypassPredictor pred(BypassPredictorParams{});
+    Rng rng(13);
+    // Train a realistic population.
+    for (unsigned i = 0; i < 2048; ++i) {
+        BypassTrainInfo info;
+        info.shouldBypass = true;
+        info.distKnown = true;
+        info.actualDist = i % 60;
+        info.mispredicted = true;
+        pred.train(0x1000 + 4 * (i % 700), i % 256, info);
+    }
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const auto p = pred.lookup(0x1000 + 4 * rng.below(700),
+                                   rng.below(256));
+        sink += p.dist;
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_BypassPredictorLookup);
+
+/** Predictor training throughput. */
+void
+BM_BypassPredictorTrain(benchmark::State &state)
+{
+    BypassPredictor pred(BypassPredictorParams{});
+    Rng rng(17);
+    for (auto _ : state) {
+        BypassTrainInfo info;
+        info.shouldBypass = true;
+        info.distKnown = true;
+        info.actualDist = static_cast<unsigned>(rng.below(60));
+        info.mispredicted = rng.chance(0.02);
+        pred.train(0x1000 + 4 * rng.below(700), rng.below(256),
+                   info);
+    }
+}
+BENCHMARK(BM_BypassPredictorTrain);
+
+} // anonymous namespace

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Partial-word bypassing (Section 3.5) in action.
+ *
+ * Three workloads stress the three partial-word mechanisms:
+ *  - struct_copy: same-size and shifted narrow-from-wide reads ->
+ *    bypassed through injected shift & mask uops;
+ *  - fp_convert: Alpha sts/lds float64<->float32 pairs -> bypassed
+ *    with the floating-point transformation;
+ *  - memcpy_byte: two 1-byte stores read by one 2-byte load ->
+ *    unbypassable multi-writer communication that the confidence
+ *    mechanism learns to *delay* instead (the g721.e case).
+ */
+
+#include <cstdio>
+
+#include "ooo/core.hh"
+#include "workload/kernels.hh"
+
+using namespace nosq;
+
+namespace {
+
+Program
+singleKernel(KernelKind kind)
+{
+    WorkloadBuilder wb(2026);
+    const auto id = wb.addKernel(kind, {});
+    return wb.build(std::vector<std::size_t>(8, id));
+}
+
+void
+runCase(const char *name, KernelKind kind)
+{
+    const Program program = singleKernel(kind);
+    OooCore core(makeParams(LsuMode::Nosq), program);
+    const SimResult r = core.run(120000, 40000);
+
+    std::printf("%-12s loads %6llu | bypassed %5.1f%% | shift-uops "
+                "%5.1f%% | delayed %5.1f%% | mispredicts/10k %5.1f\n",
+                name,
+                static_cast<unsigned long long>(r.loads),
+                100.0 * r.bypassedLoads / r.loads,
+                100.0 * r.shiftUops / r.loads,
+                r.pctLoadsDelayed(),
+                r.mispredictsPer10kLoads());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("NoSQ partial-word bypassing "
+                "(128-entry window, delay enabled)\n\n");
+    runCase("struct_copy", KernelKind::StructCopy);
+    runCase("fp_convert", KernelKind::FpConvert);
+    runCase("memcpy_byte", KernelKind::MemcpyByte);
+
+    std::printf("\nReading the rows:\n"
+                " - struct_copy and fp_convert bypass nearly all "
+                "communicating loads;\n   partial-word pairs go "
+                "through shift & mask uops, full-word pairs are\n"
+                "   pure register short-circuits.\n"
+                " - memcpy_byte cannot bypass (no single store "
+                "produces the value), so\n   after brief training "
+                "the predictor's confidence drops and the loads\n"
+                "   are delayed until the writing stores commit -- "
+                "few mispredictions\n   remain.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Why the bypassing predictor is explicitly path-sensitive
+ * (Section 3.3).
+ *
+ * The workload mixes two communication patterns whose distance
+ * depends on control flow:
+ *  - path_dep: a conditional branch decides whether one or two
+ *    stores precede the load;
+ *  - callsite: a shared reader function whose load's distance
+ *    depends on which call site invoked it (captured by the 2 bits
+ *    of call PC shifted into the path history).
+ *
+ * Running NoSQ with 0 history bits (a purely path-INsensitive
+ * predictor) against the default 8 bits shows the mis-prediction
+ * rate collapsing when path history disambiguates the distances.
+ */
+
+#include <cstdio>
+
+#include "ooo/core.hh"
+#include "workload/kernels.hh"
+
+using namespace nosq;
+
+namespace {
+
+Program
+pathWorkload()
+{
+    WorkloadBuilder wb(7);
+    const auto pd = wb.addKernel(KernelKind::PathDep, {});
+    const auto cs = wb.addKernel(KernelKind::Callsite, {});
+    std::vector<std::size_t> schedule;
+    for (int i = 0; i < 6; ++i) {
+        schedule.push_back(pd);
+        schedule.push_back(cs);
+    }
+    return wb.build(schedule);
+}
+
+SimResult
+runWithHistory(const Program &program, unsigned history_bits)
+{
+    UarchParams params = makeParams(LsuMode::Nosq);
+    params.bypass.historyBits = history_bits;
+    OooCore core(params, program);
+    return core.run(150000, 50000);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const Program program = pathWorkload();
+
+    std::printf("Path-dependent communication vs predictor history "
+                "bits\n\n");
+    std::printf("history | mispredicts/10k | bypassed%% | delayed%% "
+                "| IPC\n");
+    for (const unsigned bits : {0u, 2u, 4u, 8u, 12u}) {
+        const SimResult r = runWithHistory(program, bits);
+        std::printf("   %2u   |     %7.1f     |   %5.1f   |  %5.1f  "
+                    "| %.2f\n",
+                    bits, r.mispredictsPer10kLoads(),
+                    100.0 * r.bypassedLoads / r.loads,
+                    r.pctLoadsDelayed(), r.ipc());
+    }
+
+    std::printf("\nWith no history the same static load sees "
+                "several different distances\nand keeps "
+                "mis-training; with 8 bits each path gets its own "
+                "entry in the\npath-sensitive table and bypassing "
+                "becomes essentially perfect.\n");
+    return 0;
+}

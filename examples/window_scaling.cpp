@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Window scaling (Section 4.4): how the four LSU organizations
+ * respond when the instruction window doubles from 128 to 256
+ * entries but the bypassing predictor stays the same size.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+using namespace nosq;
+
+int
+main()
+{
+    const auto *profile = findProfile("vortex");
+    const Program program = synthesize(*profile, 1);
+
+    std::printf("Benchmark '%s' on 128- and 256-entry windows\n\n",
+                profile->name);
+    std::printf("%-26s %10s %10s\n", "configuration", "IPC@128",
+                "IPC@256");
+
+    for (const auto mode :
+         {LsuMode::SqPerfect, LsuMode::SqStoreSets, LsuMode::Nosq,
+          LsuMode::NosqPerfect}) {
+        double ipc[2];
+        std::uint64_t mw[2] = {0, 0};
+        for (int big = 0; big < 2; ++big) {
+            OooCore core(makeParams(mode, big == 1), program);
+            const SimResult r = core.run(150000, 50000);
+            ipc[big] = r.ipc();
+            mw[big] = r.bypassMispredicts;
+        }
+        std::printf("%-26s %10.2f %10.2f", lsuModeName(mode),
+                    ipc[0], ipc[1]);
+        if (mode == LsuMode::Nosq) {
+            std::printf("   (bypass mispredicts: %llu -> %llu)",
+                        static_cast<unsigned long long>(mw[0]),
+                        static_cast<unsigned long long>(mw[1]));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nThe larger window exposes more in-flight "
+                "communication (helping ideal\nSMB) but also more "
+                "hard-to-predict instances for the same-size "
+                "predictor,\nmirroring the paper's Figure 3 "
+                "observation.\n");
+    return 0;
+}

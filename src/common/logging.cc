@@ -1,0 +1,60 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+
+namespace nosq {
+
+namespace {
+
+void
+vreport(FILE *stream, const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stream, "%s", prefix);
+    std::vfprintf(stream, fmt, args);
+    std::fprintf(stream, "\n");
+    std::fflush(stream);
+}
+
+} // anonymous namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stdout, "info: ", fmt, args);
+    va_end(args);
+}
+
+} // namespace nosq

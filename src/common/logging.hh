@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error and status reporting, after gem5's logging conventions.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the simulation cannot continue due to a user/config error;
+ *            exits with an error code.
+ * warn()   - something is suspicious but the simulation continues.
+ * inform() - normal operational status.
+ */
+
+#ifndef NOSQ_COMMON_LOGGING_HH
+#define NOSQ_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace nosq {
+
+/** Print a formatted message to stderr and abort. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...);
+
+/** Print a formatted message to stderr and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...);
+
+/** Print a formatted warning to stderr. */
+void warnImpl(const char *fmt, ...);
+
+/** Print a formatted status message to stdout. */
+void informImpl(const char *fmt, ...);
+
+} // namespace nosq
+
+#define nosq_panic(...) \
+    ::nosq::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define nosq_fatal(...) \
+    ::nosq::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define nosq_warn(...) ::nosq::warnImpl(__VA_ARGS__)
+
+#define nosq_inform(...) ::nosq::informImpl(__VA_ARGS__)
+
+/**
+ * Invariant check that is active in all build types (unlike assert).
+ * Use for simulator-correctness invariants whose violation indicates a
+ * modeling bug.
+ */
+#define nosq_assert(cond, ...)                                         \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::nosq::panicImpl(__FILE__, __LINE__,                      \
+                              "assertion '%s' failed: " #cond,         \
+                              #cond);                                  \
+        }                                                              \
+    } while (0)
+
+#endif // NOSQ_COMMON_LOGGING_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Saturating counters, the workhorse of confidence estimation.
+ */
+
+#ifndef NOSQ_COMMON_SAT_COUNTER_HH
+#define NOSQ_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace nosq {
+
+/**
+ * An n-bit saturating up/down counter. Used for branch predictor
+ * two-bit counters and for the NoSQ bypassing predictor's 7-bit
+ * delay-confidence counters (Section 3.3).
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param bits counter width in bits (1..32)
+     * @param initial initial (and reset) value
+     */
+    explicit SatCounter(unsigned bits, std::uint32_t initial = 0)
+        : maxVal((bits >= 32) ? 0xffffffffu : ((1u << bits) - 1)),
+          value(initial), resetVal(initial)
+    {
+        nosq_assert(bits >= 1 && bits <= 32, "bad counter width");
+        nosq_assert(initial <= maxVal, "initial exceeds max");
+    }
+
+    /** Saturating increment. */
+    void
+    increment(std::uint32_t by = 1)
+    {
+        value = (value + by >= maxVal || value + by < value)
+            ? maxVal : value + by;
+    }
+
+    /** Saturating decrement. */
+    void
+    decrement(std::uint32_t by = 1)
+    {
+        value = (by >= value) ? 0 : value - by;
+    }
+
+    /** Restore the initial value. */
+    void reset() { value = resetVal; }
+
+    /** Set an explicit value (clamped). */
+    void
+    set(std::uint32_t v)
+    {
+        value = (v > maxVal) ? maxVal : v;
+    }
+
+    std::uint32_t raw() const { return value; }
+    std::uint32_t max() const { return maxVal; }
+
+    /** True if the counter is in its upper half (the usual "taken"). */
+    bool high() const { return value > maxVal / 2; }
+
+    /** True if counter >= threshold. */
+    bool atLeast(std::uint32_t threshold) const
+    {
+        return value >= threshold;
+    }
+
+  private:
+    std::uint32_t maxVal = 3;
+    std::uint32_t value = 0;
+    std::uint32_t resetVal = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,40 @@
+#include "common/stats.hh"
+
+namespace nosq {
+
+StatCounter &
+StatGroup::counter(const std::string &name)
+{
+    auto it = counters.find(name);
+    if (it == counters.end()) {
+        order.push_back(name);
+        it = counters.emplace(name, StatCounter()).first;
+    }
+    return it->second;
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatGroup::dump() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(order.size());
+    for (const auto &name : order)
+        out.emplace_back(name, counters.at(name).value());
+    return out;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters)
+        kv.second.reset();
+}
+
+} // namespace nosq

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components register named counters with a StatGroup; the harness can
+ * dump all groups or query individual values. Kept deliberately simple
+ * (no binning or formulas) -- derived metrics are computed where they
+ * are reported.
+ */
+
+#ifndef NOSQ_COMMON_STATS_HH
+#define NOSQ_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nosq {
+
+/** A single named 64-bit event counter. */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+
+    void operator++() { ++val; }
+    void operator++(int) { ++val; }
+    void operator+=(std::uint64_t n) { val += n; }
+
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** A named collection of counters with hierarchical dotted names. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name_) : groupName(std::move(name_)) {}
+
+    /** Register (or fetch) a counter under this group. */
+    StatCounter &counter(const std::string &name);
+
+    /** Read a counter's value; zero if never registered. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All (name, value) pairs in registration order. */
+    std::vector<std::pair<std::string, std::uint64_t>> dump() const;
+
+    /** Reset every counter in the group. */
+    void resetAll();
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    std::string groupName;
+    std::map<std::string, StatCounter> counters;
+    std::vector<std::string> order;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_COMMON_STATS_HH

@@ -1,0 +1,160 @@
+#include "frontend/branch_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace nosq {
+
+BranchPredictor::BranchPredictor(const BranchPredictorParams &params_)
+    : params(params_),
+      bimodal(params_.tableEntries, SatCounter(2, 1)),
+      gshare(params_.tableEntries, SatCounter(2, 1)),
+      chooser(params_.tableEntries, SatCounter(2, 1)),
+      btb(params_.btbEntries),
+      ras(params_.rasEntries, 0)
+{
+    nosq_assert((params.tableEntries & (params.tableEntries - 1)) == 0,
+                "predictor tables must be powers of two");
+}
+
+bool
+BranchPredictor::predictDirection(Addr pc) const
+{
+    const std::size_t mask = params.tableEntries - 1;
+    const std::size_t bi = (pc >> 2) & mask;
+    const std::size_t gi =
+        ((pc >> 2) ^ (history & ((1ull << params.historyBits) - 1))) &
+        mask;
+    const bool use_gshare = chooser[bi].high();
+    return use_gshare ? gshare[gi].high() : bimodal[bi].high();
+}
+
+void
+BranchPredictor::updateDirection(Addr pc, bool taken)
+{
+    const std::size_t mask = params.tableEntries - 1;
+    const std::size_t bi = (pc >> 2) & mask;
+    const std::size_t gi =
+        ((pc >> 2) ^ (history & ((1ull << params.historyBits) - 1))) &
+        mask;
+    const bool bim_correct = bimodal[bi].high() == taken;
+    const bool gsh_correct = gshare[gi].high() == taken;
+    if (gsh_correct && !bim_correct)
+        chooser[bi].increment();
+    else if (!gsh_correct && bim_correct)
+        chooser[bi].decrement();
+    if (taken) {
+        bimodal[bi].increment();
+        gshare[gi].increment();
+    } else {
+        bimodal[bi].decrement();
+        gshare[gi].decrement();
+    }
+    history = (history << 1) | (taken ? 1 : 0);
+}
+
+bool
+BranchPredictor::btbLookup(Addr pc, Addr &target)
+{
+    const std::size_t sets = params.btbEntries / params.btbAssoc;
+    const std::size_t base = ((pc >> 2) % sets) * params.btbAssoc;
+    const Addr tag = (pc >> 2) / sets;
+    ++stamp;
+    for (unsigned way = 0; way < params.btbAssoc; ++way) {
+        BtbEntry &e = btb[base + way];
+        if (e.valid && e.tag == tag) {
+            e.lruStamp = stamp;
+            target = e.target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BranchPredictor::btbUpdate(Addr pc, Addr target)
+{
+    const std::size_t sets = params.btbEntries / params.btbAssoc;
+    const std::size_t base = ((pc >> 2) % sets) * params.btbAssoc;
+    const Addr tag = (pc >> 2) / sets;
+    ++stamp;
+    unsigned victim = 0;
+    for (unsigned way = 0; way < params.btbAssoc; ++way) {
+        BtbEntry &e = btb[base + way];
+        if (e.valid && e.tag == tag) {
+            e.target = target;
+            e.lruStamp = stamp;
+            return;
+        }
+        if (!e.valid) {
+            victim = way;
+        } else if (btb[base + victim].valid &&
+                   e.lruStamp < btb[base + victim].lruStamp) {
+            victim = way;
+        }
+    }
+    btb[base + victim] = {tag, target, true, stamp};
+}
+
+BranchPrediction
+BranchPredictor::predictAndUpdate(Addr pc, Opcode op,
+                                  bool actual_taken,
+                                  Addr actual_target)
+{
+    ++numLookups;
+    BranchPrediction pred;
+
+    switch (op) {
+      case Opcode::Ret:
+        // RAS pop supplies the target.
+        pred.taken = true;
+        if (rasTop > 0) {
+            pred.target = ras[--rasTop];
+            pred.targetKnown = true;
+        }
+        break;
+      case Opcode::Call:
+      case Opcode::Jmp:
+        pred.taken = true;
+        pred.targetKnown = btbLookup(pc, pred.target);
+        if (op == Opcode::Call) {
+            if (rasTop < ras.size())
+                ras[rasTop++] = pc + inst_bytes;
+        }
+        break;
+      default: { // conditional branch
+        pred.taken = predictDirection(pc);
+        if (pred.taken)
+            pred.targetKnown = btbLookup(pc, pred.target);
+        else
+            pred.targetKnown = true; // fall-through is implicit
+        break;
+      }
+    }
+
+    // --- update with the actual outcome ------------------------------
+    if (isCondBranch(op))
+        updateDirection(pc, actual_taken);
+    if (actual_taken && op != Opcode::Ret)
+        btbUpdate(pc, actual_target);
+
+    if (!correct(pred, actual_taken, actual_target)) {
+        if (pred.taken != actual_taken)
+            ++numDirWrong;
+        else
+            ++numTargetWrong;
+    }
+    return pred;
+}
+
+bool
+BranchPredictor::correct(const BranchPrediction &pred, bool actual_taken,
+                         Addr actual_target)
+{
+    if (pred.taken != actual_taken)
+        return false;
+    if (!actual_taken)
+        return true;
+    return pred.targetKnown && pred.target == actual_target;
+}
+
+} // namespace nosq

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Front-end branch prediction: hybrid gshare/bimodal direction
+ * predictor, branch target buffer, and return address stack
+ * (Section 4.1: 12k-entry hybrid, 2k-entry 4-way BTB, 32-entry RAS,
+ * two predictions per cycle).
+ */
+
+#ifndef NOSQ_FRONTEND_BRANCH_PREDICTOR_HH
+#define NOSQ_FRONTEND_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace nosq {
+
+/** Direction/target predictor configuration. */
+struct BranchPredictorParams
+{
+    /** Entries in each of bimodal/gshare/chooser (4k each = 12k). */
+    unsigned tableEntries = 4096;
+    unsigned historyBits = 12;
+    unsigned btbEntries = 2048;
+    unsigned btbAssoc = 4;
+    unsigned rasEntries = 32;
+};
+
+/** Outcome of predicting one control instruction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    Addr target = 0;
+    bool targetKnown = false; // BTB/RAS produced a target
+};
+
+/**
+ * Hybrid gshare/bimodal predictor + BTB + RAS.
+ *
+ * The simulator is trace-driven (no wrong-path fetch), so global
+ * history is updated non-speculatively at prediction time with the
+ * actual outcome; mispredictions cost fetch-redirect bubbles in the
+ * core model rather than history pollution.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorParams &params);
+
+    /**
+     * Predict one control instruction and update all structures with
+     * the actual outcome.
+     *
+     * @param pc branch PC
+     * @param op branch opcode
+     * @param actual_taken the trace outcome
+     * @param actual_target the trace target (if taken)
+     * @return prediction made before the update
+     */
+    BranchPrediction predictAndUpdate(Addr pc, Opcode op,
+                                      bool actual_taken,
+                                      Addr actual_target);
+
+    /** @return true if the prediction matches the actual outcome. */
+    static bool correct(const BranchPrediction &pred, bool actual_taken,
+                        Addr actual_target);
+
+    std::uint64_t lookups() const { return numLookups; }
+    std::uint64_t dirMispredicts() const { return numDirWrong; }
+    std::uint64_t targetMispredicts() const { return numTargetWrong; }
+
+  private:
+    struct BtbEntry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    bool predictDirection(Addr pc) const;
+    void updateDirection(Addr pc, bool taken);
+    bool btbLookup(Addr pc, Addr &target);
+    void btbUpdate(Addr pc, Addr target);
+
+    BranchPredictorParams params;
+    std::vector<SatCounter> bimodal;
+    std::vector<SatCounter> gshare;
+    std::vector<SatCounter> chooser;
+    std::uint64_t history = 0;
+    std::vector<BtbEntry> btb;
+    std::vector<Addr> ras;
+    std::size_t rasTop = 0; // number of valid entries
+    std::uint64_t stamp = 0;
+    std::uint64_t numLookups = 0;
+    std::uint64_t numDirWrong = 0;
+    std::uint64_t numTargetWrong = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_FRONTEND_BRANCH_PREDICTOR_HH

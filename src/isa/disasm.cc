@@ -1,0 +1,42 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+
+namespace nosq {
+
+std::string
+disassemble(const Instruction &inst)
+{
+    char buf[128];
+    const char *name = opcodeName(inst.op);
+    const auto imm = static_cast<long long>(inst.imm);
+
+    if (isLoad(inst.op)) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, %lld(r%u)", name,
+                      inst.rd, imm, inst.ra);
+    } else if (isStore(inst.op)) {
+        std::snprintf(buf, sizeof(buf), "%s %lld(r%u), r%u", name,
+                      imm, inst.ra, inst.rb);
+    } else if (isCondBranch(inst.op)) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, 0x%llx", name,
+                      inst.ra, inst.rb, imm);
+    } else if (inst.op == Opcode::Jmp || inst.op == Opcode::Call) {
+        std::snprintf(buf, sizeof(buf), "%s 0x%llx", name, imm);
+    } else if (inst.op == Opcode::Ret) {
+        std::snprintf(buf, sizeof(buf), "%s r%u", name, inst.ra);
+    } else if (inst.op == Opcode::LdImm) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, %lld", name,
+                      inst.rd, imm);
+    } else if (inst.op == Opcode::Nop || inst.op == Opcode::Halt) {
+        std::snprintf(buf, sizeof(buf), "%s", name);
+    } else if (readsRb(inst)) {
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, r%u", name,
+                      inst.rd, inst.ra, inst.rb);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, %lld", name,
+                      inst.rd, inst.ra, imm);
+    }
+    return buf;
+}
+
+} // namespace nosq

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Instruction disassembly for debugging and trace dumps.
+ */
+
+#ifndef NOSQ_ISA_DISASM_HH
+#define NOSQ_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace nosq {
+
+/** Render @p inst as e.g. "ld4u r5, 16(r3)" or "beq r1, r0, 0x40". */
+std::string disassemble(const Instruction &inst);
+
+} // namespace nosq
+
+#endif // NOSQ_ISA_DISASM_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The micro-ISA executed by the simulator.
+ *
+ * A minimal 64-bit load/store RISC ISA in the spirit of the Alpha AXP
+ * (the paper's experimental platform). It deliberately exposes every
+ * property the NoSQ mechanisms observe:
+ *
+ *  - 1/2/4/8-byte loads and stores with sign/zero extension, so all of
+ *    Section 3.5's partial-word mask/shift/extend transformations occur;
+ *  - an Alpha lds/sts-style float32 <-> float64 conversion pair (LdS /
+ *    StS), the "yet another possible transformation" of Section 3.5;
+ *  - calls and returns, so call-site path sensitivity is exercised;
+ *  - conditional branches, so branch-direction path history matters.
+ *
+ * Registers: 64 flat architectural registers. Register 0 reads as zero
+ * and writes to it are discarded. By convention register 1 is the stack
+ * pointer and register 2 the link register.
+ */
+
+#ifndef NOSQ_ISA_ISA_HH
+#define NOSQ_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace nosq {
+
+/** Number of architectural registers. */
+constexpr RegIndex num_arch_regs = 64;
+
+/** Architectural register conventions. */
+constexpr RegIndex reg_zero = 0;
+constexpr RegIndex reg_sp = 1;
+constexpr RegIndex reg_lr = 2;
+
+/** Bytes per instruction; PCs advance by this much. */
+constexpr Addr inst_bytes = 4;
+
+/** Operation codes. */
+enum class Opcode : std::uint8_t {
+    Nop,
+    Halt,
+
+    // Simple integer ALU, register-register.
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, CmpEq, CmpLt,
+
+    // Simple integer ALU, register-immediate.
+    AddI, AndI, OrI, XorI, SllI, SrlI, SraI,
+
+    // Load 64-bit immediate.
+    LdImm,
+
+    // Complex integer.
+    Mul,
+
+    // Floating point (values are IEEE754 double bit patterns).
+    FAdd, FMul, FDiv, CvtIF,
+
+    // Loads: U = zero-extend, S = sign-extend; LdS converts an
+    // in-memory float32 to an in-register float64 (Alpha lds).
+    Ld1U, Ld1S, Ld2U, Ld2S, Ld4U, Ld4S, Ld8, LdS,
+
+    // Stores truncate the 64-bit register to the access size; StS
+    // converts an in-register float64 to an in-memory float32
+    // (Alpha sts).
+    St1, St2, St4, St8, StS,
+
+    // Control. Conditional branches compare ra against rb.
+    Beq, Bne, Blt, Bge,
+    Jmp,  // unconditional direct
+    Call, // direct call, writes return address to rd
+    Ret,  // indirect jump through ra
+
+    NumOpcodes,
+};
+
+/** Functional-unit class for scheduling (Section 4.1 issue limits). */
+enum class InstClass : std::uint8_t {
+    SimpleInt,    // up to 4/cycle
+    ComplexIntFp, // up to 2/cycle
+    Branch,       // up to 1/cycle
+    Load,         // up to 1/cycle
+    Store,        // up to 1/cycle
+};
+
+/** How a load extends the accessed bytes into a 64-bit register. */
+enum class ExtendKind : std::uint8_t {
+    Zero,
+    Sign,
+    FpCvt, // float32 -> float64
+};
+
+/** A decoded static instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegIndex rd = reg_zero; // destination (loads, ALU, call link)
+    RegIndex ra = reg_zero; // source 1 / base address / branch lhs
+    RegIndex rb = reg_zero; // source 2 / store data / branch rhs
+    std::int64_t imm = 0;   // immediate / displacement / target PC
+};
+
+/** @return the functional-unit class of an opcode. */
+InstClass instClass(Opcode op);
+
+/** @return true for any load opcode. */
+bool isLoad(Opcode op);
+
+/** @return true for any store opcode. */
+bool isStore(Opcode op);
+
+/** @return true for any control-transfer opcode. */
+bool isControl(Opcode op);
+
+/** @return true for conditional branches only. */
+bool isCondBranch(Opcode op);
+
+/** @return memory access size in bytes (loads and stores only). */
+unsigned memSize(Opcode op);
+
+/** @return how a load extends its value (loads only). */
+ExtendKind loadExtend(Opcode op);
+
+/** @return true if the store applies the float64->float32 convert. */
+bool storeFpCvt(Opcode op);
+
+/** @return execution latency in cycles for a non-memory opcode. */
+unsigned execLatency(Opcode op);
+
+/** @return true if the instruction writes rd. */
+bool writesReg(const Instruction &inst);
+
+/** @return true if the instruction reads ra. */
+bool readsRa(const Instruction &inst);
+
+/** @return true if the instruction reads rb. */
+bool readsRb(const Instruction &inst);
+
+/** @return the opcode mnemonic. */
+const char *opcodeName(Opcode op);
+
+/** Zero- or sign-extend @p raw of @p size bytes per @p ext. */
+std::uint64_t extendValue(std::uint64_t raw, unsigned size,
+                          ExtendKind ext);
+
+/** Apply the float32->float64 in-register conversion (Alpha lds). */
+std::uint64_t fp32ToReg(std::uint32_t bits);
+
+/** Apply the float64->float32 conversion for StS (Alpha sts). */
+std::uint32_t regToFp32(std::uint64_t reg);
+
+} // namespace nosq
+
+#endif // NOSQ_ISA_ISA_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The baseline's non-associative load queue.
+ *
+ * With SVW-filtered in-order re-execution the load queue is never
+ * searched associatively (Section 2.2); it simply buffers executed
+ * load addresses/values for the back-end pipeline and bounds the
+ * number of in-flight loads. NoSQ eliminates it entirely
+ * (Section 3.4); the NoSQ core model therefore only uses this class
+ * in baseline configurations.
+ */
+
+#ifndef NOSQ_LSU_LOAD_QUEUE_HH
+#define NOSQ_LSU_LOAD_QUEUE_HH
+
+#include "common/circular_buffer.hh"
+#include "common/types.hh"
+
+namespace nosq {
+
+/** One in-flight load's back-end verification record. */
+struct LqEntry
+{
+    InstSeq seq = invalid_seq;
+    Addr addr = 0;
+    std::uint8_t size = 0;
+    /** Value obtained at execution (for re-execution comparison). */
+    std::uint64_t data = 0;
+    /** SSN of the youngest store the load is not vulnerable to. */
+    SSN ssnNvul = 0;
+    bool executed = false;
+};
+
+/** Non-associative, age-ordered load queue. */
+class LoadQueue
+{
+  public:
+    explicit LoadQueue(std::size_t capacity) : entries(capacity) {}
+
+    bool full() const { return entries.full(); }
+    std::size_t size() const { return entries.size(); }
+    std::size_t capacity() const { return entries.capacity(); }
+
+    /** Allocate at rename (program order). */
+    void
+    allocate(InstSeq seq)
+    {
+        LqEntry e;
+        e.seq = seq;
+        entries.pushBack(e);
+    }
+
+    /** Record address/value at execution. */
+    void
+    execute(InstSeq seq, Addr addr, unsigned size, std::uint64_t data,
+            SSN ssn_nvul)
+    {
+        for (std::size_t i = entries.size(); i-- > 0;) {
+            LqEntry &e = entries.at(i);
+            if (e.seq == seq) {
+                e.addr = addr;
+                e.size = static_cast<std::uint8_t>(size);
+                e.data = data;
+                e.ssnNvul = ssn_nvul;
+                e.executed = true;
+                return;
+            }
+        }
+    }
+
+    /** Pop the oldest entry at commit. */
+    LqEntry
+    commitOldest()
+    {
+        return entries.popFront();
+    }
+
+    /** Remove entries younger than @p boundary_seq. */
+    void
+    squashAfter(InstSeq boundary_seq)
+    {
+        while (!entries.empty() && entries.back().seq > boundary_seq)
+            entries.popBack();
+    }
+
+    void clear() { entries.clear(); }
+
+  private:
+    CircularBuffer<LqEntry> entries;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_LSU_LOAD_QUEUE_HH

@@ -1,0 +1,103 @@
+#include "lsu/store_queue.hh"
+
+#include "common/logging.hh"
+
+namespace nosq {
+
+StoreQueue::StoreQueue(std::size_t capacity)
+    : entries(capacity)
+{
+}
+
+void
+StoreQueue::allocate(SSN ssn, InstSeq seq)
+{
+    nosq_assert(!entries.full(), "store queue overflow");
+    SqEntry e;
+    e.ssn = ssn;
+    e.seq = seq;
+    entries.pushBack(e);
+}
+
+void
+StoreQueue::execute(SSN ssn, Addr addr, unsigned size,
+                    std::uint64_t data)
+{
+    for (std::size_t i = entries.size(); i-- > 0;) {
+        SqEntry &e = entries.at(i);
+        if (e.ssn == ssn) {
+            e.addr = addr;
+            e.size = static_cast<std::uint8_t>(size);
+            e.data = data;
+            e.addrValid = true;
+            e.dataValid = true;
+            return;
+        }
+    }
+    nosq_panic("StoreQueue::execute: SSN %llu not present",
+               static_cast<unsigned long long>(ssn));
+}
+
+void
+StoreQueue::commitOldest(SSN ssn)
+{
+    nosq_assert(!entries.empty(), "commit from empty store queue");
+    nosq_assert(entries.front().ssn == ssn,
+                "out-of-order store queue commit");
+    entries.popFront();
+}
+
+void
+StoreQueue::squashAfter(InstSeq boundary_seq)
+{
+    while (!entries.empty() && entries.back().seq > boundary_seq)
+        entries.popBack();
+}
+
+SqSearchResult
+StoreQueue::search(Addr addr, unsigned size, InstSeq load_seq) const
+{
+    SqSearchResult result;
+    // Youngest-first scan over older stores.
+    for (std::size_t i = entries.size(); i-- > 0;) {
+        const SqEntry &e = entries.at(i);
+        if (e.seq >= load_seq)
+            continue;
+        ++result.entriesSearched;
+        if (!e.addrValid)
+            continue;
+        const Addr lo = std::max(addr, e.addr);
+        const Addr hi = std::min(addr + size, e.addr + e.size);
+        if (lo >= hi)
+            continue; // no overlap
+        // Youngest overlapping store decides the outcome.
+        result.ssn = e.ssn;
+        const bool covers = e.addr <= addr &&
+            e.addr + e.size >= addr + size;
+        if (covers && e.dataValid) {
+            result.outcome = SqSearchOutcome::Forward;
+            const unsigned shift =
+                static_cast<unsigned>(addr - e.addr) * 8;
+            result.raw = e.data >> shift;
+            if (size < 8)
+                result.raw &= (1ull << (size * 8)) - 1;
+        } else {
+            result.outcome = SqSearchOutcome::Stall;
+        }
+        return result;
+    }
+    return result;
+}
+
+bool
+StoreQueue::hasUnknownOlderAddr(InstSeq load_seq) const
+{
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const SqEntry &e = entries.at(i);
+        if (e.seq < load_seq && !e.addrValid)
+            return true;
+    }
+    return false;
+}
+
+} // namespace nosq

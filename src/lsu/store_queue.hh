@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The conventional age-ordered associative store queue (the structure
+ * NoSQ eliminates). Models the baseline's store-load forwarding:
+ * loads associatively search older stores for address overlap and
+ * forward from the youngest matching store.
+ */
+
+#ifndef NOSQ_LSU_STORE_QUEUE_HH
+#define NOSQ_LSU_STORE_QUEUE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/circular_buffer.hh"
+#include "common/types.hh"
+
+namespace nosq {
+
+/** Result classification of an associative store queue search. */
+enum class SqSearchOutcome : std::uint8_t
+{
+    /** No overlapping older store with a known address. */
+    NoMatch,
+    /** Youngest overlapping store fully covers the load: forward. */
+    Forward,
+    /** Youngest overlapping store covers the load only partially, or
+     * its data is not yet available: the load must wait. */
+    Stall,
+};
+
+/** Search result: outcome plus forwarding details. */
+struct SqSearchResult
+{
+    SqSearchOutcome outcome = SqSearchOutcome::NoMatch;
+    /** SSN of the matched store (Forward and Stall). */
+    SSN ssn = invalid_ssn;
+    /** Raw little-endian bytes covering the load (Forward only). */
+    std::uint64_t raw = 0;
+    /** Number of store queue entries examined (for stats). */
+    unsigned entriesSearched = 0;
+};
+
+/** One in-flight store. */
+struct SqEntry
+{
+    SSN ssn = invalid_ssn;
+    InstSeq seq = invalid_seq;
+    Addr addr = 0;
+    std::uint8_t size = 0;
+    /** Raw bytes as they will appear in memory (post-truncation). */
+    std::uint64_t data = 0;
+    bool addrValid = false;
+    bool dataValid = false;
+};
+
+/**
+ * Age-ordered associative store queue.
+ *
+ * Entries are allocated at rename (in program order), filled at store
+ * execution, and drained at commit. Loads search it at execution.
+ */
+class StoreQueue
+{
+  public:
+    explicit StoreQueue(std::size_t capacity);
+
+    bool full() const { return entries.full(); }
+    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return entries.size(); }
+    std::size_t capacity() const { return entries.capacity(); }
+
+    /** Allocate an entry at rename. The queue must not be full. */
+    void allocate(SSN ssn, InstSeq seq);
+
+    /** Fill address and data at store execution. */
+    void execute(SSN ssn, Addr addr, unsigned size,
+                 std::uint64_t data);
+
+    /** Drain the oldest entry at commit; must match @p ssn. */
+    void commitOldest(SSN ssn);
+
+    /** Remove all entries younger than @p boundary_seq (squash). */
+    void squashAfter(InstSeq boundary_seq);
+
+    /**
+     * Associative search on behalf of a load.
+     *
+     * Considers only stores older than @p load_seq with valid
+     * addresses. Follows the conventional policy: the youngest
+     * overlapping store forwards if it fully covers the load and has
+     * data; a partial overlap stalls the load until that store
+     * commits.
+     */
+    SqSearchResult search(Addr addr, unsigned size,
+                          InstSeq load_seq) const;
+
+    /** @return true if any older store still has an unknown address
+     * (the load would be speculating past it). */
+    bool hasUnknownOlderAddr(InstSeq load_seq) const;
+
+    void clear() { entries.clear(); }
+
+  private:
+    CircularBuffer<SqEntry> entries;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_LSU_STORE_QUEUE_HH

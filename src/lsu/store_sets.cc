@@ -1,0 +1,105 @@
+#include "lsu/store_sets.hh"
+
+#include "common/logging.hh"
+
+namespace nosq {
+
+StoreSets::StoreSets(const StoreSetsParams &params_)
+    : params(params_), ssit(params_.ssitEntries),
+      lfst(params_.lfstEntries)
+{
+    nosq_assert((params.ssitEntries & (params.ssitEntries - 1)) == 0,
+                "SSIT size must be a power of two");
+}
+
+std::size_t
+StoreSets::ssitIndex(Addr pc) const
+{
+    return (pc >> 2) & (params.ssitEntries - 1);
+}
+
+void
+StoreSets::maybeCyclicClear()
+{
+    if (params.cyclicClearInterval &&
+        ++accesses % params.cyclicClearInterval == 0) {
+        for (auto &e : ssit)
+            e.valid = false;
+    }
+}
+
+void
+StoreSets::storeRenamed(Addr pc, SSN ssn)
+{
+    maybeCyclicClear();
+    const SsitEntry &e = ssit[ssitIndex(pc)];
+    if (!e.valid)
+        return;
+    LfstEntry &l = lfst[e.ssid % lfst.size()];
+    l.ssn = ssn;
+    l.valid = true;
+    l.executed = false;
+}
+
+std::optional<SSN>
+StoreSets::loadDependence(Addr pc)
+{
+    maybeCyclicClear();
+    const SsitEntry &e = ssit[ssitIndex(pc)];
+    if (!e.valid)
+        return std::nullopt;
+    const LfstEntry &l = lfst[e.ssid % lfst.size()];
+    if (!l.valid || l.executed)
+        return std::nullopt;
+    return l.ssn;
+}
+
+void
+StoreSets::storeExecuted(Addr pc, SSN ssn)
+{
+    const SsitEntry &e = ssit[ssitIndex(pc)];
+    if (!e.valid)
+        return;
+    LfstEntry &l = lfst[e.ssid % lfst.size()];
+    if (l.valid && l.ssn == ssn)
+        l.executed = true;
+}
+
+void
+StoreSets::trainViolation(Addr load_pc, Addr store_pc)
+{
+    ++numTrained;
+    SsitEntry &le = ssit[ssitIndex(load_pc)];
+    SsitEntry &se = ssit[ssitIndex(store_pc)];
+    // Simplified store-set merge: reuse the lower existing SSID, or
+    // mint a new one if neither instruction has a set yet.
+    std::uint32_t ssid;
+    if (le.valid && se.valid)
+        ssid = std::min(le.ssid, se.ssid);
+    else if (le.valid)
+        ssid = le.ssid;
+    else if (se.valid)
+        ssid = se.ssid;
+    else
+        ssid = nextSsid++;
+    le = {ssid, true};
+    se = {ssid, true};
+}
+
+void
+StoreSets::squashRepair(SSN ssn_boundary)
+{
+    for (auto &l : lfst) {
+        if (l.valid && l.ssn > ssn_boundary)
+            l.valid = false;
+    }
+}
+
+void
+StoreSets::clearSsns()
+{
+    for (auto &l : lfst)
+        l.valid = false;
+}
+
+} // namespace nosq

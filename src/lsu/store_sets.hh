@@ -1,0 +1,95 @@
+/**
+ * @file
+ * StoreSets memory dependence predictor (Chrysos & Emer, ISCA 1998),
+ * used by the baseline for load scheduling (Section 4.1: 4k entries).
+ *
+ * The SSIT maps instruction PCs to store-set IDs; the LFST maps each
+ * store-set ID to the SSN of the most recently renamed in-flight
+ * store in that set. A load whose set has an in-flight store waits
+ * for that store to execute before issuing.
+ */
+
+#ifndef NOSQ_LSU_STORE_SETS_HH
+#define NOSQ_LSU_STORE_SETS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nosq {
+
+/** StoreSets configuration. */
+struct StoreSetsParams
+{
+    unsigned ssitEntries = 4096;
+    unsigned lfstEntries = 1024;
+    /** Clear the SSIT every this many accesses (0 = never). */
+    std::uint64_t cyclicClearInterval = 1u << 22;
+};
+
+/** StoreSets predictor with squash repair. */
+class StoreSets
+{
+  public:
+    explicit StoreSets(const StoreSetsParams &params);
+
+    /**
+     * Rename-time hook for a store: updates the LFST so younger loads
+     * (and stores) in the same set depend on this instance.
+     */
+    void storeRenamed(Addr pc, SSN ssn);
+
+    /**
+     * Rename-time hook for a load.
+     *
+     * @return the SSN of the store this load must wait for, if any.
+     */
+    std::optional<SSN> loadDependence(Addr pc);
+
+    /** Store executed: younger loads need not wait on it any more. */
+    void storeExecuted(Addr pc, SSN ssn);
+
+    /**
+     * Train on a memory-order violation: place the load and the
+     * conflicting store in the same store set (simplified merge).
+     */
+    void trainViolation(Addr load_pc, Addr store_pc);
+
+    /** Invalidate LFST entries naming squashed stores. */
+    void squashRepair(SSN ssn_boundary);
+
+    /** Drop all SSN state (SSN wraparound drain). */
+    void clearSsns();
+
+    std::uint64_t violationsTrained() const { return numTrained; }
+
+  private:
+    struct SsitEntry
+    {
+        std::uint32_t ssid = 0;
+        bool valid = false;
+    };
+
+    struct LfstEntry
+    {
+        SSN ssn = invalid_ssn;
+        bool valid = false;
+        bool executed = false;
+    };
+
+    std::size_t ssitIndex(Addr pc) const;
+    void maybeCyclicClear();
+
+    StoreSetsParams params;
+    std::vector<SsitEntry> ssit;
+    std::vector<LfstEntry> lfst;
+    std::uint32_t nextSsid = 1;
+    std::uint64_t accesses = 0;
+    std::uint64_t numTrained = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_LSU_STORE_SETS_HH

@@ -1,0 +1,177 @@
+#include "memsys/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace nosq {
+
+Cache::Cache(const CacheParams &params_)
+    : params(params_)
+{
+    nosq_assert(params.lineBytes > 0 &&
+                std::has_single_bit(std::uint64_t(params.lineBytes)),
+                "line size must be a power of two");
+    numSets = params.sizeBytes / (params.lineBytes * params.assoc);
+    nosq_assert(numSets > 0 &&
+                std::has_single_bit(std::uint64_t(numSets)),
+                "set count must be a power of two");
+    lines.assign(numSets * params.assoc, Line());
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / params.lineBytes) & (numSets - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr / params.lineBytes / numSets;
+}
+
+bool
+Cache::access(Addr addr, bool write)
+{
+    const std::size_t base = setIndex(addr) * params.assoc;
+    const Addr tag = tagOf(addr);
+    ++stamp;
+
+    for (unsigned way = 0; way < params.assoc; ++way) {
+        Line &line = lines[base + way];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = stamp;
+            line.dirty |= write;
+            ++numHits;
+            return true;
+        }
+    }
+
+    // Miss: fill into the LRU way (write-allocate).
+    ++numMisses;
+    unsigned victim = 0;
+    for (unsigned way = 1; way < params.assoc; ++way) {
+        if (!lines[base + way].valid) {
+            victim = way;
+            break;
+        }
+        if (lines[base + way].lruStamp <
+            lines[base + victim].lruStamp) {
+            victim = way;
+        }
+    }
+    Line &line = lines[base + victim];
+    if (line.valid && line.dirty)
+        ++numWritebacks;
+    line.valid = true;
+    line.dirty = write;
+    line.tag = tag;
+    line.lruStamp = stamp;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::size_t base = setIndex(addr) * params.assoc;
+    const Addr tag = tagOf(addr);
+    for (unsigned way = 0; way < params.assoc; ++way) {
+        const Line &line = lines[base + way];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::clear()
+{
+    for (auto &line : lines)
+        line = Line();
+}
+
+Tlb::Tlb(const TlbParams &params_)
+    : params(params_)
+{
+    numSets = params.entries / params.assoc;
+    nosq_assert(numSets > 0, "TLB needs at least one set");
+    entries.assign(params.entries, Entry());
+}
+
+Cycle
+Tlb::access(Addr addr)
+{
+    const Addr vpn = addr >> params.pageBits;
+    const std::size_t base = (vpn % numSets) * params.assoc;
+    ++stamp;
+    for (unsigned way = 0; way < params.assoc; ++way) {
+        Entry &e = entries[base + way];
+        if (e.valid && e.vpn == vpn) {
+            e.lruStamp = stamp;
+            ++numHits;
+            return 0;
+        }
+    }
+    ++numMisses;
+    unsigned victim = 0;
+    for (unsigned way = 1; way < params.assoc; ++way) {
+        if (!entries[base + way].valid) {
+            victim = way;
+            break;
+        }
+        if (entries[base + way].lruStamp <
+            entries[base + victim].lruStamp) {
+            victim = way;
+        }
+    }
+    entries[base + victim] = {vpn, true, stamp};
+    return params.missLatency;
+}
+
+void
+Tlb::clear()
+{
+    for (auto &e : entries)
+        e = Entry();
+}
+
+MemHierarchy::MemHierarchy(const MemSysParams &params_)
+    : params(params_), l1iCache(params_.l1i), l1dCache(params_.l1d),
+      l2Cache(params_.l2), instTlb(params_.itlb), dataTlb(params_.dtlb)
+{
+}
+
+Cycle
+MemHierarchy::fill(Addr addr, bool write, Cache &l1)
+{
+    Cycle latency = l1.hitLatency();
+    if (!l1.access(addr, write)) {
+        latency += l2Cache.hitLatency();
+        if (!l2Cache.access(addr, write))
+            latency += params.memoryLatency + params.busTransfer;
+    }
+    return latency;
+}
+
+Cycle
+MemHierarchy::dataRead(Addr addr)
+{
+    ++numDataReads;
+    return dataTlb.access(addr) + fill(addr, false, l1dCache);
+}
+
+Cycle
+MemHierarchy::dataWrite(Addr addr)
+{
+    ++numDataWrites;
+    return dataTlb.access(addr) + fill(addr, true, l1dCache);
+}
+
+Cycle
+MemHierarchy::instFetch(Addr addr)
+{
+    return instTlb.access(addr) + fill(addr, false, l1iCache);
+}
+
+} // namespace nosq

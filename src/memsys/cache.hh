@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Set-associative cache tag model with LRU replacement.
+ *
+ * Models hit/miss behaviour and replacement state only; data travels
+ * through the simulator's committed memory image. Geometry follows
+ * Section 4.1: 64KB 2-way L1s, 1MB 8-way L2, 64-byte lines.
+ */
+
+#ifndef NOSQ_MEMSYS_CACHE_HH
+#define NOSQ_MEMSYS_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace nosq {
+
+/** Geometry and latency of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 64 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = 64;
+    Cycle hitLatency = 3;
+};
+
+/** One cache level: tags + LRU state + statistics. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Access the line containing @p addr.
+     *
+     * @param addr byte address
+     * @param write true for stores (sets the dirty bit)
+     * @return true on hit
+     */
+    bool access(Addr addr, bool write);
+
+    /** Hit check without changing replacement state (for tests). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything (SSN-wrap drain does not need this, but
+     * tests and resets do). */
+    void clear();
+
+    Cycle hitLatency() const { return params.hitLatency; }
+    const CacheParams &config() const { return params; }
+
+    std::uint64_t hits() const { return numHits; }
+    std::uint64_t misses() const { return numMisses; }
+    std::uint64_t writebacks() const { return numWritebacks; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams params;
+    std::size_t numSets;
+    std::vector<Line> lines; // numSets * assoc
+    std::uint64_t stamp = 0;
+    std::uint64_t numHits = 0;
+    std::uint64_t numMisses = 0;
+    std::uint64_t numWritebacks = 0;
+};
+
+/** TLB geometry (Section 4.1: 128-entry, 4-way). */
+struct TlbParams
+{
+    unsigned entries = 128;
+    unsigned assoc = 4;
+    unsigned pageBits = 12;
+    Cycle missLatency = 30;
+};
+
+/** A TLB modeled as a tiny set-associative cache of page numbers. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params);
+
+    /** @return extra latency (0 on hit, missLatency on miss). */
+    Cycle access(Addr addr);
+
+    void clear();
+
+    std::uint64_t hits() const { return numHits; }
+    std::uint64_t misses() const { return numMisses; }
+
+  private:
+    struct Entry
+    {
+        Addr vpn = 0;
+        bool valid = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    TlbParams params;
+    std::size_t numSets;
+    std::vector<Entry> entries;
+    std::uint64_t stamp = 0;
+    std::uint64_t numHits = 0;
+    std::uint64_t numMisses = 0;
+};
+
+/** Two-level hierarchy timing parameters (Section 4.1). */
+struct MemSysParams
+{
+    CacheParams l1i{"l1i", 64 * 1024, 2, 64, 1};
+    CacheParams l1d{"l1d", 64 * 1024, 2, 64, 3};
+    CacheParams l2{"l2", 1024 * 1024, 8, 64, 10};
+    TlbParams itlb;
+    TlbParams dtlb;
+    /** DRAM access latency in cycles. */
+    Cycle memoryLatency = 150;
+    /** Line transfer: 64B line / 16B bus at quarter frequency. */
+    Cycle busTransfer = 16;
+};
+
+/**
+ * The L1D/L2/memory path used by the core for loads, stores, and
+ * instruction fetch. Returns end-to-end latencies and keeps counts;
+ * port/bandwidth contention is enforced by the core's issue rules.
+ */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemSysParams &params);
+
+    /** Data read: @return total latency in cycles. */
+    Cycle dataRead(Addr addr);
+
+    /** Data write (store commit): @return total latency. */
+    Cycle dataWrite(Addr addr);
+
+    /** Instruction fetch: @return total latency. */
+    Cycle instFetch(Addr addr);
+
+    Cache &l1d() { return l1dCache; }
+    Cache &l1i() { return l1iCache; }
+    Cache &l2() { return l2Cache; }
+    Tlb &dtlb() { return dataTlb; }
+
+    std::uint64_t dataReads() const { return numDataReads; }
+    std::uint64_t dataWrites() const { return numDataWrites; }
+
+  private:
+    Cycle fill(Addr addr, bool write, Cache &l1);
+
+    MemSysParams params;
+    Cache l1iCache;
+    Cache l1dCache;
+    Cache l2Cache;
+    Tlb instTlb;
+    Tlb dataTlb;
+    std::uint64_t numDataReads = 0;
+    std::uint64_t numDataWrites = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_MEMSYS_CACHE_HH

@@ -1,0 +1,192 @@
+#include "nosq/bypass_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace nosq {
+
+BypassPredictor::BypassPredictor(const BypassPredictorParams &params_)
+    : params(params_)
+{
+    if (!params.unbounded) {
+        nosq_assert(params.entriesPerTable % params.assoc == 0,
+                    "table entries not divisible by associativity");
+        const std::size_t sets =
+            params.entriesPerTable / params.assoc;
+        nosq_assert((sets & (sets - 1)) == 0,
+                    "set count must be a power of two");
+        insensitive.numSets = sets;
+        sensitive.numSets = sets;
+        insensitive.sets.assign(params.entriesPerTable, Entry());
+        sensitive.sets.assign(params.entriesPerTable, Entry());
+    }
+}
+
+std::uint64_t
+BypassPredictor::sensitiveKey(Addr pc,
+                              std::uint64_t path_history) const
+{
+    const std::uint64_t hist = params.historyBits >= 64
+        ? path_history
+        : (path_history &
+           ((std::uint64_t(1) << params.historyBits) - 1));
+    return (pc >> 2) ^ (hist * 0x9e3779b97f4a7c15ull >> 32);
+}
+
+BypassPredictor::Entry *
+BypassPredictor::find(Table &table, std::uint64_t key, Addr tag)
+{
+    if (params.unbounded) {
+        // In unbounded mode the full (key, tag) identifies the entry.
+        auto it = table.map.find(key * 0x100000001b3ull + tag);
+        return it == table.map.end() ? nullptr : &it->second;
+    }
+    const std::size_t set = key & (table.numSets - 1);
+    Entry *base = &table.sets[set * params.assoc];
+    for (unsigned way = 0; way < params.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+BypassPredictor::Entry &
+BypassPredictor::upsert(Table &table, std::uint64_t key, Addr tag)
+{
+    ++stamp;
+    if (params.unbounded) {
+        Entry &e = table.map[key * 0x100000001b3ull + tag];
+        if (!e.valid) {
+            e.valid = true;
+            e.tag = tag;
+            e.conf = SatCounter(params.confBits, params.confInit);
+        }
+        e.lruStamp = stamp;
+        return e;
+    }
+    const std::size_t set = key & (table.numSets - 1);
+    Entry *base = &table.sets[set * params.assoc];
+    unsigned victim = 0;
+    for (unsigned way = 0; way < params.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag) {
+            base[way].lruStamp = stamp;
+            return base[way];
+        }
+        if (!base[way].valid) {
+            victim = way;
+        } else if (base[victim].valid &&
+                   base[way].lruStamp < base[victim].lruStamp) {
+            victim = way;
+        }
+    }
+    Entry &e = base[victim];
+    e = Entry();
+    e.valid = true;
+    e.tag = tag;
+    e.conf = SatCounter(params.confBits, params.confInit);
+    e.lruStamp = stamp;
+    return e;
+}
+
+BypassPrediction
+BypassPredictor::lookup(Addr pc, std::uint64_t path_history)
+{
+    ++numLookups;
+    const Addr tag = pc >> 2;
+
+    BypassPrediction pred;
+    Entry *entry = find(sensitive, sensitiveKey(pc, path_history),
+                        tag);
+    if (entry != nullptr) {
+        pred.pathSensitive = true;
+    } else {
+        entry = find(insensitive, pc >> 2, tag);
+    }
+    if (entry == nullptr)
+        return pred; // miss: predicted non-bypassing
+
+    pred.hit = true;
+    pred.bypass = entry->bypass;
+    pred.dist = entry->dist;
+    pred.shift = entry->shift;
+    pred.storeSizeLog = entry->sizeLog;
+    pred.confident = entry->conf.atLeast(params.confThreshold);
+    return pred;
+}
+
+void
+BypassPredictor::applyTraining(Entry &entry,
+                               const BypassTrainInfo &info,
+                               bool decrement_conf)
+{
+    if (info.shouldBypass && info.distKnown &&
+        info.actualDist <= params.maxDistance) {
+        entry.bypass = true;
+        entry.dist = static_cast<std::uint8_t>(info.actualDist);
+        entry.shift = static_cast<std::uint8_t>(info.shift & 7);
+        entry.sizeLog = static_cast<std::uint8_t>(info.storeSizeLog);
+    } else if (info.distKnown &&
+               info.actualDist <= params.maxDistance) {
+        // The load communicated but is not cleanly bypassable
+        // (multi-writer / partial-store). Keep the distance so delay
+        // can wait for the right store, but drive confidence down.
+        entry.bypass = true;
+        entry.dist = static_cast<std::uint8_t>(info.actualDist);
+        entry.shift = 0;
+        entry.sizeLog = static_cast<std::uint8_t>(info.storeSizeLog);
+        decrement_conf = true;
+    } else {
+        entry.bypass = false;
+    }
+    if (decrement_conf)
+        entry.conf.decrement(params.confDec);
+}
+
+void
+BypassPredictor::train(Addr pc, std::uint64_t path_history,
+                       const BypassTrainInfo &info)
+{
+    const Addr tag = pc >> 2;
+    const std::uint64_t skey = sensitiveKey(pc, path_history);
+
+    if (!info.mispredicted) {
+        // A delayed load only rebuilds confidence if bypassing would
+        // actually have worked (single covering writer at exactly
+        // the predicted distance); otherwise delaying was the right
+        // call and the counter must stay low.
+        if (info.wasDelayed &&
+            !(info.shouldBypass && info.predictedDistValid &&
+              info.distKnown &&
+              info.actualDist == info.predictedDist)) {
+            return;
+        }
+        // Correct prediction: bump confidence on the entries that
+        // produced it (if any).
+        if (Entry *e = find(sensitive, skey, tag))
+            e->conf.increment(params.confInc);
+        else if (Entry *e2 = find(insensitive, pc >> 2, tag))
+            e2->conf.increment(params.confInc);
+        return;
+    }
+
+    ++numMispredicts;
+    // A path-sensitive prediction that still mis-predicted loses
+    // confidence (the condition that captures partial-store and
+    // pathologically path-dependent communication, Section 3.3).
+    const bool path_entry_existed =
+        find(sensitive, skey, tag) != nullptr;
+
+    Entry &se = upsert(sensitive, skey, tag);
+    applyTraining(se, info, path_entry_existed);
+    Entry &ie = upsert(insensitive, pc >> 2, tag);
+    applyTraining(ie, info, path_entry_existed);
+}
+
+std::size_t
+BypassPredictor::storageBytes() const
+{
+    if (params.unbounded)
+        return (insensitive.map.size() + sensitive.map.size()) * 5;
+    return std::size_t(params.entriesPerTable) * 2 * 5;
+}
+
+} // namespace nosq

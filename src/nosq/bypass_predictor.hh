@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The NoSQ store-load bypassing predictor (Section 3.3).
+ *
+ * A hybrid of two set-associative tables:
+ *  - a path-INsensitive table indexed by load PC, and
+ *  - a path-SENSITIVE table indexed by load PC XOR path history
+ *    (branch directions and call-site PCs).
+ *
+ * Each entry holds a partial tag, a dynamic store distance (6 bits =
+ * up to 64 in-flight stores), a shift amount for partial-word pairs
+ * (3 bits), the communicating store's size (2 bits), and a 7-bit
+ * confidence counter that drives the delay mechanism. 2 x 1K entries
+ * x 5 bytes = 10KB.
+ *
+ * Lookup prefers the path-sensitive table. Training on a
+ * mis-prediction creates/updates entries in both tables; the
+ * confidence counter is decremented when a path-sensitive prediction
+ * was available but mis-predicted anyway, and incremented on correct
+ * predictions.
+ */
+
+#ifndef NOSQ_NOSQ_BYPASS_PREDICTOR_HH
+#define NOSQ_NOSQ_BYPASS_PREDICTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace nosq {
+
+/** Predictor geometry and confidence tuning. */
+struct BypassPredictorParams
+{
+    /** Entries in EACH of the two tables (Section 4.1: 1K). */
+    unsigned entriesPerTable = 1024;
+    unsigned assoc = 4;
+    /** Path history bits XORed into the sensitive index (8). */
+    unsigned historyBits = 8;
+    /** Maximum representable distance (6-bit field). */
+    unsigned maxDistance = 63;
+    /** Confidence counter width / init / delay threshold. */
+    unsigned confBits = 7;
+    std::uint32_t confInit = 64;
+    std::uint32_t confThreshold = 32;
+    std::uint32_t confDec = 12;
+    std::uint32_t confInc = 2;
+    /** Unbounded-capacity mode for Figure 5's "Inf" series. */
+    bool unbounded = false;
+};
+
+/** What the decode stage learns about a load. */
+struct BypassPrediction
+{
+    bool hit = false;        // some table had an entry
+    bool bypass = false;     // entry predicts in-flight communication
+    unsigned dist = 0;       // predicted dynamic store distance
+    unsigned shift = 0;      // predicted shift amount (bytes)
+    unsigned storeSizeLog = 3;
+    bool confident = true;   // confidence above the delay threshold
+    bool pathSensitive = false;
+};
+
+/** Commit-stage training input. */
+struct BypassTrainInfo
+{
+    /** The load communicated with a single bypassable in-flight
+     * store (cases where bypassing is the correct behaviour). */
+    bool shouldBypass = false;
+    /** Distance to the store the load should have bypassed from
+     * (from the T-SSBF, Section 3.1); valid when the load
+     * communicated at all. */
+    bool distKnown = false;
+    unsigned actualDist = 0;
+    unsigned shift = 0;
+    unsigned storeSizeLog = 3;
+    /** Commit detected one of the three mis-prediction cases. */
+    bool mispredicted = false;
+    /** The load was delayed rather than bypassed. */
+    bool wasDelayed = false;
+    /** The distance the predictor supplied (delay/bypass cases). */
+    bool predictedDistValid = false;
+    unsigned predictedDist = 0;
+};
+
+/** Hybrid path-sensitive distance predictor. */
+class BypassPredictor
+{
+  public:
+    explicit BypassPredictor(const BypassPredictorParams &params);
+
+    /** Decode-stage lookup. */
+    BypassPrediction lookup(Addr pc, std::uint64_t path_history);
+
+    /** Commit-stage training. */
+    void train(Addr pc, std::uint64_t path_history,
+               const BypassTrainInfo &info);
+
+    /** Storage footprint in bytes (5 bytes per entry). */
+    std::size_t storageBytes() const;
+
+    std::uint64_t lookups() const { return numLookups; }
+    std::uint64_t mispredictTrains() const { return numMispredicts; }
+
+    const BypassPredictorParams &config() const { return params; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool bypass = false;
+        std::uint8_t dist = 0;
+        std::uint8_t shift = 0;
+        std::uint8_t sizeLog = 3;
+        SatCounter conf;
+        std::uint64_t lruStamp = 0;
+    };
+
+    /** One of the two tables. */
+    struct Table
+    {
+        std::vector<Entry> sets;   // bounded mode
+        std::unordered_map<std::uint64_t, Entry> map; // unbounded
+        std::size_t numSets = 0;
+    };
+
+    std::uint64_t sensitiveKey(Addr pc,
+                               std::uint64_t path_history) const;
+    Entry *find(Table &table, std::uint64_t key, Addr tag);
+    Entry &upsert(Table &table, std::uint64_t key, Addr tag);
+    void applyTraining(Entry &entry, const BypassTrainInfo &info,
+                       bool decrement_conf);
+
+    BypassPredictorParams params;
+    Table insensitive;
+    Table sensitive;
+    std::uint64_t stamp = 0;
+    std::uint64_t numLookups = 0;
+    std::uint64_t numMispredicts = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_NOSQ_BYPASS_PREDICTOR_HH

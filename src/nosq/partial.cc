@@ -1,0 +1,37 @@
+#include "nosq/partial.hh"
+
+namespace nosq {
+
+bool
+needsShiftMask(const BypassPair &pair)
+{
+    return pair.storeSizeLog != 3 || pair.loadSize != 8 ||
+        pair.storeFpCvt || pair.loadExtend == ExtendKind::FpCvt ||
+        pair.shiftBytes != 0;
+}
+
+bool
+bypassable(unsigned store_size, Addr store_addr, unsigned load_size,
+           Addr load_addr)
+{
+    return store_addr <= load_addr &&
+        load_addr + load_size <= store_addr + store_size;
+}
+
+std::uint64_t
+bypassValue(const BypassPair &pair)
+{
+    // Reconstruct the bytes the store would put in memory...
+    std::uint64_t raw = pair.storeFpCvt
+        ? regToFp32(pair.storeData)
+        : pair.storeData;
+    const unsigned store_size = 1u << pair.storeSizeLog;
+    if (store_size < 8)
+        raw &= (1ull << (store_size * 8)) - 1;
+    // ...select the bytes the load reads...
+    raw >>= pair.shiftBytes * 8;
+    // ...and extend/convert them into the load's register format.
+    return extendValue(raw, pair.loadSize, pair.loadExtend);
+}
+
+} // namespace nosq

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Partial-word bypassing transformations (Section 3.5).
+ *
+ * A partial-word store-load pair implicitly performs mask, shift,
+ * and sign/zero-extension (and on Alpha, float32<->float64
+ * conversion) on the value that flows from DEF to USE. The injected
+ * shift & mask instruction reproduces those transformations from the
+ * store's *data register* value.
+ */
+
+#ifndef NOSQ_NOSQ_PARTIAL_HH
+#define NOSQ_NOSQ_PARTIAL_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace nosq {
+
+/** Everything the shift & mask uop needs to know about the pair. */
+struct BypassPair
+{
+    std::uint64_t storeData = 0; // store's 64-bit data register value
+    unsigned storeSizeLog = 3;   // log2 bytes
+    bool storeFpCvt = false;     // store applies float64->float32
+    unsigned loadSize = 8;       // bytes
+    ExtendKind loadExtend = ExtendKind::Zero;
+    unsigned shiftBytes = 0;     // load_addr - store_addr
+};
+
+/**
+ * @return true if the pair needs an injected shift & mask uop; a
+ * full-word same-size pair is a pure register short-circuit.
+ */
+bool needsShiftMask(const BypassPair &pair);
+
+/**
+ * @return true if SMB can bypass the pair at all: the load's bytes
+ * must be a subrange of the store's bytes (SMB cannot combine values
+ * from multiple sources, Section 3.3 "Delay").
+ */
+bool bypassable(unsigned store_size, Addr store_addr,
+                unsigned load_size, Addr load_addr);
+
+/**
+ * Compute the bypassed load value (what the shift & mask uop
+ * produces). The caller guarantees the pair is bypassable.
+ */
+std::uint64_t bypassValue(const BypassPair &pair);
+
+/** Shift amount (bytes) implied by the two addresses. */
+inline unsigned
+shiftAmount(Addr store_addr, Addr load_addr)
+{
+    return static_cast<unsigned>(load_addr - store_addr);
+}
+
+} // namespace nosq
+
+#endif // NOSQ_NOSQ_PARTIAL_HH

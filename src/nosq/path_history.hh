@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Path history for the bypassing predictor's explicitly path-
+ * sensitive table (Section 3.3): one bit per conditional branch
+ * direction and two bits per call-site PC.
+ */
+
+#ifndef NOSQ_NOSQ_PATH_HISTORY_HH
+#define NOSQ_NOSQ_PATH_HISTORY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nosq {
+
+/** Shift-register path history (branch directions + call PCs). */
+class PathHistory
+{
+  public:
+    /** Record a conditional branch direction (1 bit). */
+    void
+    condBranch(bool taken)
+    {
+        bits = (bits << 1) | (taken ? 1 : 0);
+    }
+
+    /** Record a call site (2 bits of the call PC). */
+    void
+    call(Addr pc)
+    {
+        bits = (bits << 2) | ((pc >> 2) & 3);
+    }
+
+    /** @return the low @p n bits of the history. */
+    std::uint64_t
+    hash(unsigned n) const
+    {
+        return n >= 64 ? bits : (bits & ((std::uint64_t(1) << n) - 1));
+    }
+
+    /** Raw history for checkpoint/restore across squashes. */
+    std::uint64_t raw() const { return bits; }
+    void restore(std::uint64_t checkpoint) { bits = checkpoint; }
+
+  private:
+    std::uint64_t bits = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_NOSQ_PATH_HISTORY_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The store register queue (SRQ).
+ *
+ * "The store register queue parallels a traditional store queue in
+ * structure, but unlike a traditional store queue is not a datapath
+ * element. It contains only physical register numbers (not addresses
+ * and values) and it is accessed only at rename, not at execute."
+ * (Section 3.2.)
+ *
+ * Entries are indexed by the low-order bits of the store's SSN, so
+ * squash recovery is free: rewinding SSNrename implicitly discards
+ * squashed entries.
+ */
+
+#ifndef NOSQ_NOSQ_SRQ_HH
+#define NOSQ_NOSQ_SRQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace nosq {
+
+/** Rename-time metadata for one in-flight store. */
+struct SrqEntry
+{
+    /** The store's data input physical register (dtag). */
+    PhysReg dtag = invalid_phys_reg;
+    /** log2 of the store's access size (0..3). */
+    std::uint8_t sizeLog = 3;
+    /** The store applies the float64->float32 conversion (sts). */
+    bool fpCvt = false;
+};
+
+/** SSN-indexed store register queue. */
+class StoreRegisterQueue
+{
+  public:
+    explicit StoreRegisterQueue(std::size_t capacity)
+        : entries(capacity)
+    {
+        nosq_assert((capacity & (capacity - 1)) == 0,
+                    "SRQ capacity must be a power of two");
+    }
+
+    /** Write at store rename. */
+    void
+    write(SSN ssn, const SrqEntry &entry)
+    {
+        entries[ssn & (entries.size() - 1)] = entry;
+    }
+
+    /** Read at load rename (bypass short-circuit). */
+    const SrqEntry &
+    read(SSN ssn) const
+    {
+        return entries[ssn & (entries.size() - 1)];
+    }
+
+    std::size_t capacity() const { return entries.size(); }
+
+  private:
+    std::vector<SrqEntry> entries;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_NOSQ_SRQ_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Store sequence number (SSN) conventions.
+ *
+ * SSNs are assigned to stores at rename in monotonically increasing
+ * order and identify both in-flight and committed stores (Section 2).
+ * SSNrename - SSNcommit equals the in-flight store population. The
+ * hardware uses 20-bit SSNs; when they wrap, the pipeline drains and
+ * every SSN-holding structure clears. The simulator keeps 64-bit
+ * SSNs internally and triggers the drain at the architectural period.
+ */
+
+#ifndef NOSQ_NOSQ_SSN_HH
+#define NOSQ_NOSQ_SSN_HH
+
+#include "common/types.hh"
+
+namespace nosq {
+
+/** Architectural SSN width (Section 4.1). */
+constexpr unsigned ssn_bits = 20;
+
+/** Wraparound period of the architectural SSN counters. */
+constexpr SSN ssn_wrap_period = SSN(1) << ssn_bits;
+
+/** Rename/commit SSN counter pair. */
+struct SsnState
+{
+    /** SSN of the most recently renamed store (0 = none yet). */
+    SSN rename = 0;
+    /** SSN of the most recently committed store. */
+    SSN commit = 0;
+
+    /** In-flight store population. */
+    SSN inflight() const { return rename - commit; }
+
+    /**
+     * @return true if assigning the next SSN would cross an
+     * architectural wraparound boundary, requiring a drain.
+     */
+    bool
+    nextWraps(SSN wrap_period = ssn_wrap_period) const
+    {
+        return (rename + 1) % wrap_period == 0;
+    }
+};
+
+} // namespace nosq
+
+#endif // NOSQ_NOSQ_SSN_HH

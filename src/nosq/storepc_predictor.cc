@@ -1,0 +1,122 @@
+#include "nosq/storepc_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace nosq {
+
+StorePcBypassPredictor::StorePcBypassPredictor(
+    const StorePcPredictorParams &params_)
+    : params(params_), ssit(params_.ssitEntries),
+      lfst(params_.lfstEntries)
+{
+    nosq_assert(params.ssitEntries % params.ssitAssoc == 0,
+                "SSIT entries not divisible by associativity");
+}
+
+StorePcBypassPredictor::SsitEntry *
+StorePcBypassPredictor::findSsit(Addr load_pc)
+{
+    const std::size_t sets = ssit.size() / params.ssitAssoc;
+    const std::size_t base =
+        ((load_pc >> 2) % sets) * params.ssitAssoc;
+    const Addr tag = (load_pc >> 2) / sets;
+    for (unsigned way = 0; way < params.ssitAssoc; ++way) {
+        SsitEntry &e = ssit[base + way];
+        if (e.valid && e.tag == tag)
+            return &e;
+    }
+    return nullptr;
+}
+
+StorePcBypassPredictor::LfstEntry &
+StorePcBypassPredictor::lfstSlot(Addr store_pc)
+{
+    return lfst[(store_pc >> 2) % lfst.size()];
+}
+
+void
+StorePcBypassPredictor::storeRenamed(Addr store_pc, SSN ssn)
+{
+    LfstEntry &l = lfstSlot(store_pc);
+    l.storePc = store_pc;
+    l.ssn = ssn;
+    l.valid = true;
+}
+
+StorePcPrediction
+StorePcBypassPredictor::lookup(Addr load_pc, SSN ssn_commit)
+{
+    StorePcPrediction pred;
+    SsitEntry *e = findSsit(load_pc);
+    if (e == nullptr)
+        return pred;
+    pred.hit = true;
+    pred.confident = e->conf.atLeast(params.confThreshold);
+    const LfstEntry &l = lfstSlot(e->storePc);
+    // The fundamental store-PC limitation: only the MOST RECENT
+    // dynamic instance of the predicted static store is nameable.
+    if (l.valid && l.storePc == e->storePc && l.ssn > ssn_commit) {
+        pred.bypass = true;
+        pred.ssnByp = l.ssn;
+    }
+    return pred;
+}
+
+void
+StorePcBypassPredictor::train(Addr load_pc, Addr writer_pc,
+                              bool mispredicted)
+{
+    SsitEntry *e = findSsit(load_pc);
+    if (!mispredicted) {
+        if (e != nullptr)
+            e->conf.increment(params.confInc);
+        return;
+    }
+    ++stamp;
+    if (e == nullptr) {
+        // Allocate (LRU within the set).
+        const std::size_t sets = ssit.size() / params.ssitAssoc;
+        const std::size_t base =
+            ((load_pc >> 2) % sets) * params.ssitAssoc;
+        unsigned victim = 0;
+        for (unsigned way = 0; way < params.ssitAssoc; ++way) {
+            SsitEntry &cand = ssit[base + way];
+            if (!cand.valid) {
+                victim = way;
+                break;
+            }
+            if (cand.lruStamp < ssit[base + victim].lruStamp)
+                victim = way;
+        }
+        e = &ssit[base + victim];
+        *e = SsitEntry();
+        e->valid = true;
+        e->tag = (load_pc >> 2) / sets;
+        e->conf = SatCounter(params.confBits, params.confInit);
+    }
+    e->lruStamp = stamp;
+    if (writer_pc != 0) {
+        e->storePc = writer_pc;
+        e->conf.decrement(params.confDec);
+    } else {
+        e->valid = false; // no in-window writer: stop predicting
+    }
+}
+
+void
+StorePcBypassPredictor::squashRepair(SSN ssn_boundary)
+{
+    for (auto &l : lfst) {
+        if (l.valid && l.ssn > ssn_boundary)
+            l.valid = false;
+    }
+}
+
+void
+StorePcBypassPredictor::clearSsns()
+{
+    for (auto &l : lfst)
+        l.valid = false;
+}
+
+} // namespace nosq

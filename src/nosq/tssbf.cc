@@ -1,0 +1,133 @@
+#include "nosq/tssbf.hh"
+
+#include "common/logging.hh"
+
+namespace nosq {
+
+Tssbf::Tssbf(const TssbfParams &params_)
+    : params(params_)
+{
+    numSets = params.entries / params.assoc;
+    nosq_assert(numSets > 0 && (numSets & (numSets - 1)) == 0,
+                "T-SSBF set count must be a power of two");
+    entries.assign(params.entries, TssbfEntry());
+    fifoNext.assign(numSets, 0);
+    evictedFloor.assign(numSets, 0);
+}
+
+std::size_t
+Tssbf::setOf(Addr granule) const
+{
+    return granule & (numSets - 1);
+}
+
+void
+Tssbf::storeUpdate(Addr addr, unsigned size, SSN ssn)
+{
+    // A store that crosses a granule boundary updates both granules.
+    const Addr first = addr >> granule_bits;
+    const Addr last = (addr + size - 1) >> granule_bits;
+    for (Addr granule = first; granule <= last; ++granule) {
+        const std::size_t set = setOf(granule);
+        const Addr tag = granule >> /*index bits*/ 0; // full granule
+        const std::size_t base = set * params.assoc;
+        // Hit: update in place.
+        bool placed = false;
+        for (unsigned way = 0; way < params.assoc; ++way) {
+            TssbfEntry &e = entries[base + way];
+            if (e.valid && e.tag == tag) {
+                e.ssn = ssn;
+                e.offset = static_cast<std::uint8_t>(addr & 7);
+                e.sizeLog = static_cast<std::uint8_t>(
+                    size == 1 ? 0 : size == 2 ? 1 : size == 4 ? 2 : 3);
+                placed = true;
+                break;
+            }
+        }
+        if (placed)
+            continue;
+        // Miss: FIFO replacement within the set.
+        const unsigned way = fifoNext[set];
+        fifoNext[set] = (way + 1) % params.assoc;
+        TssbfEntry &e = entries[base + way];
+        if (e.valid) {
+            ++numEvictions;
+            evictedFloor[set] = std::max(evictedFloor[set], e.ssn);
+        }
+        e.valid = true;
+        e.tag = tag;
+        e.ssn = ssn;
+        e.offset = static_cast<std::uint8_t>(addr & 7);
+        e.sizeLog = static_cast<std::uint8_t>(
+            size == 1 ? 0 : size == 2 ? 1 : size == 4 ? 2 : 3);
+    }
+}
+
+const TssbfEntry *
+Tssbf::lookup(Addr addr) const
+{
+    const Addr granule = addr >> granule_bits;
+    const std::size_t base = setOf(granule) * params.assoc;
+    for (unsigned way = 0; way < params.assoc; ++way) {
+        const TssbfEntry &e = entries[base + way];
+        if (e.valid && e.tag == granule)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+Tssbf::needsReexecInequality(Addr addr, unsigned size,
+                             SSN ssn_nvul) const
+{
+    const Addr first = addr >> granule_bits;
+    const Addr last = (addr + size - 1) >> granule_bits;
+    for (Addr granule = first; granule <= last; ++granule) {
+        const std::size_t set = setOf(granule);
+        // Eviction floor: a younger store to this set may have been
+        // displaced; stay safe.
+        if (evictedFloor[set] > ssn_nvul)
+            return true;
+        const std::size_t base = set * params.assoc;
+        for (unsigned way = 0; way < params.assoc; ++way) {
+            const TssbfEntry &e = entries[base + way];
+            if (e.valid && e.tag == granule && e.ssn > ssn_nvul)
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+Tssbf::needsReexecEquality(Addr addr, unsigned size,
+                           SSN ssn_byp) const
+{
+    const Addr first = addr >> granule_bits;
+    const Addr last = (addr + size - 1) >> granule_bits;
+    if (first != last)
+        return true; // granule-crossing loads always re-execute
+    const TssbfEntry *e = lookup(addr);
+    return e == nullptr || e->ssn != ssn_byp;
+}
+
+bool
+Tssbf::shiftMatches(Addr load_addr, unsigned predicted_shift) const
+{
+    const TssbfEntry *e = lookup(load_addr);
+    if (e == nullptr)
+        return false;
+    const unsigned actual =
+        static_cast<unsigned>((load_addr & 7) - e->offset);
+    return actual == predicted_shift;
+}
+
+void
+Tssbf::clear()
+{
+    for (auto &e : entries)
+        e.valid = false;
+    for (auto &f : evictedFloor)
+        f = 0;
+}
+
+} // namespace nosq

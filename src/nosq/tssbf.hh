@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The tagged store sequence Bloom filter (T-SSBF) and the SVW
+ * re-execution filter tests (Sections 2.2, 3.4).
+ *
+ * The T-SSBF is indexed by 8-byte address granule and tracks, per
+ * granule, the SSN of the youngest committed store plus the store's
+ * size and low-order address bits (used for SMB shift verification,
+ * Section 3.5). Sets are managed FIFO. Because bypassed loads use an
+ * *equality* filter test, tag aliasing must be impossible -- hence
+ * tags. Evictions are tracked with a per-set floor SSN so that the
+ * non-bypassing *inequality* test remains safe after eviction.
+ */
+
+#ifndef NOSQ_NOSQ_TSSBF_HH
+#define NOSQ_NOSQ_TSSBF_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nosq {
+
+/** T-SSBF geometry (Section 4.1: 128 entries, 4-way, 1KB). */
+struct TssbfParams
+{
+    unsigned entries = 128;
+    unsigned assoc = 4;
+};
+
+/** One T-SSBF entry (20b SSN + 3b offset + 3b size + 38b tag). */
+struct TssbfEntry
+{
+    Addr tag = 0;     // granule address >> index bits
+    SSN ssn = 0;      // youngest committed store to this granule
+    std::uint8_t offset = 0;  // store's low-order address bits
+    std::uint8_t sizeLog = 0; // log2 of the store's size
+    bool valid = false;
+};
+
+/** Tagged SSBF with FIFO sets and eviction floors. */
+class Tssbf
+{
+  public:
+    explicit Tssbf(const TssbfParams &params);
+
+    /** Record a committed store (SVW-stage action, Table 4). */
+    void storeUpdate(Addr addr, unsigned size, SSN ssn);
+
+    /** @return the matching entry for @p addr's granule, if any. */
+    const TssbfEntry *lookup(Addr addr) const;
+
+    /**
+     * SVW inequality filter test for non-bypassing loads:
+     * re-execute iff a store younger than @p ssn_nvul may have
+     * written any accessed granule.
+     */
+    bool needsReexecInequality(Addr addr, unsigned size,
+                               SSN ssn_nvul) const;
+
+    /**
+     * SVW equality filter test for bypassed loads: skip re-execution
+     * only if the accessed granule's entry records exactly the
+     * bypassed store (tag match and ssn == @p ssn_byp). Any miss,
+     * alias, or granule-crossing access re-executes (safe direction).
+     */
+    bool needsReexecEquality(Addr addr, unsigned size,
+                             SSN ssn_byp) const;
+
+    /**
+     * Verify a predicted shift amount without replay (Section 3.5):
+     * compare the predicted shift against the recorded store offset.
+     *
+     * @return true if the entry confirms the prediction.
+     */
+    bool shiftMatches(Addr load_addr, unsigned predicted_shift) const;
+
+    /** SSN-wraparound drain: clear all SSN state. */
+    void clear();
+
+    std::uint64_t evictions() const { return numEvictions; }
+
+  private:
+    static constexpr unsigned granule_bits = 3; // 8-byte granules
+
+    std::size_t setOf(Addr granule) const;
+
+    TssbfParams params;
+    std::size_t numSets;
+    std::vector<TssbfEntry> entries;
+    std::vector<unsigned> fifoNext;   // per-set FIFO pointer
+    std::vector<SSN> evictedFloor;    // per-set max evicted SSN
+    std::uint64_t numEvictions = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_NOSQ_TSSBF_HH

@@ -1,0 +1,292 @@
+#include "ooo/core.hh"
+
+#include "common/logging.hh"
+
+namespace nosq {
+
+const char *
+lsuModeName(LsuMode mode)
+{
+    switch (mode) {
+      case LsuMode::SqPerfect: return "assoc-sq/perfect-sched";
+      case LsuMode::SqStoreSets: return "assoc-sq/store-sets";
+      case LsuMode::Nosq: return "nosq";
+      case LsuMode::NosqPerfect: return "nosq/perfect-smb";
+    }
+    return "???";
+}
+
+UarchParams
+makeParams(LsuMode mode, bool big_window)
+{
+    UarchParams p;
+    p.mode = mode;
+    if (big_window) {
+        // Figure 3: window resources doubled, branch predictor
+        // quadrupled; the bypassing predictor is NOT enlarged.
+        p.robSize = 256;
+        p.iqSize = 80;
+        p.lqSize = 96;
+        p.sqSize = 48;
+        p.numPhysRegs = 320;
+        p.fetchBufferSize = 64;
+        p.branch.tableEntries = 4 * 4096;
+        p.branch.btbEntries = 4 * 2048;
+    }
+    return p;
+}
+
+OooCore::OooCore(const UarchParams &params_, const Program &program)
+    : params(params_), stream(program), rename(params_.numPhysRegs),
+      mem(params_.memsys), branchPred(params_.branch),
+      sq(params_.sqSize), storeSets(params_.storeSets),
+      srq(256), bypassPred(params_.bypass), tssbf(params_.tssbf)
+{
+    for (const auto &[base, bytes] : program.initData)
+        image.writeBytes(base, bytes.data(), bytes.size());
+}
+
+SimResult
+OooCore::run(std::uint64_t max_insts, std::uint64_t warmup_insts)
+{
+    const std::uint64_t total = max_insts + warmup_insts;
+    Cycle cycle_base = 0;
+
+    if (warmup_insts > 0) {
+        // Warm caches, predictors, and filters; then restart the
+        // statistics at an exact instruction boundary.
+        commitBudget = warmup_insts;
+        while (committed < warmup_insts) {
+            tick();
+            if (traceExhausted && rob.empty() && fetchQueue.empty())
+                break;
+            nosq_assert(cycle < total * 1000 + 1000000,
+                        "simulation livelock suspected");
+        }
+        res = SimResult();
+        cycle_base = cycle;
+    }
+
+    commitBudget = total;
+    while (committed < total) {
+        tick();
+        if (traceExhausted && rob.empty() && fetchQueue.empty())
+            break;
+        nosq_assert(cycle < total * 1000 + 1000000,
+                    "simulation livelock suspected");
+    }
+    res.cycles = cycle - cycle_base;
+    res.insts = committed - warmup_insts;
+    return res;
+}
+
+void
+OooCore::tick()
+{
+    ++cycle;
+    doRetire();
+    doBackendEntry();
+    doIssue();
+    doRename();
+    doFetch();
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+OooCore::doFetch()
+{
+    if (traceExhausted || cycle < fetchStalledUntil ||
+        redirectWaitSeq != 0) {
+        return;
+    }
+
+    unsigned fetched = 0;
+    unsigned branches = 0;
+    bool taken_seen = false;
+
+    while (fetched < params.fetchWidth &&
+           fetchQueue.size() < params.fetchBufferSize) {
+        if (!stream.hasNext()) {
+            traceExhausted = true;
+            break;
+        }
+        const DynInst &di = stream.peek();
+        if (di.halted) {
+            traceExhausted = true;
+            break;
+        }
+
+        // Instruction cache: one access per group; a miss stalls the
+        // whole group until the fill returns.
+        if (fetched == 0) {
+            const Cycle lat = mem.instFetch(di.pc);
+            if (lat > params.memsys.l1i.hitLatency) {
+                fetchStalledUntil = cycle + lat;
+                return;
+            }
+        }
+
+        Inflight inf;
+        inf.di = di;
+
+        if (di.isBranch()) {
+            if (branches == params.maxBranchesPerCycle)
+                break;
+            if (taken_seen)
+                break; // fetch past only one taken branch per cycle
+            ++branches;
+            const auto pred = branchPred.predictAndUpdate(
+                di.pc, di.si.op, di.taken, di.npc);
+            if (isCondBranch(di.si.op))
+                pathHist.condBranch(di.taken);
+            else if (di.si.op == Opcode::Call)
+                pathHist.call(di.pc);
+            if (!BranchPredictor::correct(pred, di.taken, di.npc)) {
+                ++res.branchMispredicts;
+                inf.branchMispredicted = true;
+            } else if (di.taken) {
+                taken_seen = true;
+            }
+        }
+
+        inf.pathHash = pathHist.raw();
+        inf.renameReady = cycle + params.fetchToRename;
+        fetchQueue.push_back(inf);
+        stream.next();
+        ++fetched;
+
+        if (inf.branchMispredicted) {
+            // Fetch must wait until this branch resolves.
+            redirectWaitSeq = inf.di.seq;
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flush (load value mis-speculation recovery)
+// ---------------------------------------------------------------------
+
+void
+OooCore::flushAfter(InstSeq boundary_seq)
+{
+    // Squash ROB entries younger than the boundary, youngest first,
+    // undoing rename state.
+    while (!rob.empty() && rob.back().di.seq > boundary_seq) {
+        Inflight &inf = rob.back();
+        // Instructions already in the back-end pipe (same commit
+        // group as the offender, or behind it) are squashed too;
+        // their T-SSBF updates self-heal because the identical
+        // dynamic stores re-execute with identical SSNs.
+        if (inf.inBackend)
+            --backendCount;
+        if (inf.allocatesDst || inf.sharesDst)
+            rename.undo(inf.archDst, inf.physDst, inf.prevDst);
+        if (inf.di.isStore()) {
+            nosq_assert(ssn.rename == inf.di.ssn,
+                        "SSN rewind out of order");
+            --ssn.rename;
+            inflightStoreSeq.erase(inf.di.ssn);
+            if (!params.isNosq())
+                sq.squashAfter(boundary_seq);
+        }
+        if (inf.inIq && !inf.issued)
+            --iqCount;
+        if (!params.isNosq() && inf.di.isLoad())
+            --lqOccupancy;
+        rob.pop_back();
+    }
+
+    // Un-renamed fetched instructions are simply dropped.
+    fetchQueue.clear();
+
+    if (!params.isNosq())
+        storeSets.squashRepair(ssn.rename);
+
+    if (redirectWaitSeq > boundary_seq)
+        redirectWaitSeq = 0;
+
+    // Restore decode-path state to the boundary instruction.
+    if (!rob.empty())
+        pathHist.restore(rob.back().pathHash);
+
+    // Re-fetch from the instruction after the boundary.
+    stream.rewindTo(boundary_seq + 1);
+    fetchStalledUntil = cycle + 1;
+    traceExhausted = false;
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+Inflight *
+OooCore::findStoreBySsn(SSN target)
+{
+    const auto it = inflightStoreSeq.find(target);
+    if (it == inflightStoreSeq.end())
+        return nullptr;
+    if (rob.empty())
+        return nullptr;
+    const InstSeq front_seq = rob.front().di.seq;
+    if (it->second < front_seq)
+        return nullptr;
+    const std::size_t pos =
+        static_cast<std::size_t>(it->second - front_seq);
+    if (pos >= rob.size())
+        return nullptr;
+    Inflight &inf = rob[pos];
+    nosq_assert(inf.di.seq == it->second,
+                "ROB seq indexing broken");
+    return &inf;
+}
+
+std::uint64_t
+OooCore::readImage(Addr addr, unsigned size, Opcode op) const
+{
+    const std::uint64_t raw = image.read(addr, size);
+    return extendValue(raw, size, loadExtend(op));
+}
+
+void
+OooCore::recordCommOracle(const DynInst &di)
+{
+    if (di.isStore()) {
+        recentStoreSizes[di.seq] = di.size;
+        recentStoreOrder.push_back(di.seq);
+        if (recentStoreOrder.size() > 4 * comm_window) {
+            recentStoreSizes.erase(recentStoreOrder.front());
+            recentStoreOrder.pop_front();
+        }
+        return;
+    }
+    if (!di.isLoad())
+        return;
+    const std::uint64_t wseq = di.youngestWriterSeq();
+    if (wseq == 0 || di.seq - wseq >= comm_window)
+        return;
+    ++res.commLoads;
+    bool partial = di.size < 8;
+    for (unsigned i = 0; i < di.size && !partial; ++i) {
+        const auto it = recentStoreSizes.find(di.byteWriterSeq[i]);
+        if (it != recentStoreSizes.end() && it->second < 8)
+            partial = true;
+    }
+    if (partial)
+        ++res.partialCommLoads;
+}
+
+void
+OooCore::drainForSsnWrap()
+{
+    // Called from rename when the next SSN would wrap: the pipeline
+    // has drained (ROB empty); clear every SSN-holding structure.
+    tssbf.clear();
+    storeSets.clearSsns();
+    ++res.ssnWrapDrains;
+}
+
+} // namespace nosq

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The out-of-order timing core.
+ *
+ * A value-exact, trace-driven cycle model of the paper's 4-wide
+ * machine. One class implements all four LSU organizations
+ * (Figure 1): the conventional associative-store-queue designs
+ * (perfect and StoreSets scheduling) and NoSQ (realistic and
+ * perfect-predictor).
+ *
+ * Value exactness: loads executing in the out-of-order core read a
+ * committed-state memory image (plus, in the baseline, the
+ * associative store queue); bypassed loads read the predicted
+ * store's data register through the shift & mask transform. At
+ * retirement, SVW-filtered re-execution re-reads the image -- by
+ * then architecturally correct -- and a value mismatch flushes the
+ * pipeline and retrains the predictors. Mis-speculation is thus
+ * detected by genuine value comparison, exactly as in the paper's
+ * Table 4, including benign wrong-store-same-value cases.
+ */
+
+#ifndef NOSQ_OOO_CORE_HH
+#define NOSQ_OOO_CORE_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "frontend/branch_predictor.hh"
+#include "lsu/store_queue.hh"
+#include "lsu/store_sets.hh"
+#include "memsys/cache.hh"
+#include "nosq/bypass_predictor.hh"
+#include "nosq/partial.hh"
+#include "nosq/path_history.hh"
+#include "nosq/srq.hh"
+#include "nosq/ssn.hh"
+#include "nosq/tssbf.hh"
+#include "ooo/rename.hh"
+#include "ooo/sim_stats.hh"
+#include "ooo/uarch_params.hh"
+#include "workload/functional.hh"
+
+namespace nosq {
+
+/** One in-flight instruction. */
+struct Inflight
+{
+    DynInst di;
+    /** Path history checkpoint taken at fetch/decode. */
+    std::uint64_t pathHash = 0;
+
+    // --- rename state -------------------------------------------------
+    PhysReg physA = invalid_phys_reg;
+    PhysReg physB = invalid_phys_reg;
+    PhysReg physDst = invalid_phys_reg;
+    PhysReg prevDst = invalid_phys_reg;
+    RegIndex archDst = reg_zero;
+    bool allocatesDst = false;
+    bool sharesDst = false; // SMB short-circuit (refcounted)
+
+    // --- scheduling ------------------------------------------------------
+    bool inIq = false;
+    bool issued = false;
+    bool completedFlag = false;
+    Cycle renameReady = 0;  // earliest rename cycle
+    Cycle completeCycle = 0;
+
+    // --- memory behaviour --------------------------------------------------
+    bool bypassed = false;   // SMB handled this load
+    bool isShiftUop = false; // partial-word bypass occupies the IQ
+    bool delayed = false;    // confidence delay (or baseline stall)
+    SSN ssnByp = invalid_ssn;
+    unsigned predShift = 0;
+    /** The predictor produced this decision (diagnostics). */
+    bool predBypass = false;
+    bool predHit = false;
+    bool predDistValid = false;
+    unsigned predDist = 0;
+    SSN depSsn = invalid_ssn;   // StoreSets: wait for this store
+    bool waitStoreCommit = false;
+    SSN waitSsn = 0;            // issue when SSNcommit >= waitSsn
+    SSN ssnNvul = 0;
+    std::uint64_t value = 0;    // load value obtained speculatively
+    bool sawSqForward = false;
+
+    // --- back end -----------------------------------------------------------
+    bool inBackend = false;
+    bool reexec = false;
+    Cycle retireCycle = 0;
+
+    // --- commit-time training snapshot (NoSQ) ----------------------------
+    /** SSNrename observed when this instruction renamed. */
+    SSN ssnAtRename = 0;
+    bool trainDistKnown = false;
+    unsigned trainDist = 0;
+    bool trainCovers = false;
+    unsigned trainShift = 0;
+    unsigned trainSizeLog = 3;
+
+    // --- front end ----------------------------------------------------------
+    bool branchMispredicted = false;
+
+    bool
+    completed(Cycle now) const
+    {
+        return completedFlag && completeCycle <= now;
+    }
+};
+
+/** The configurable out-of-order core. */
+class OooCore
+{
+  public:
+    OooCore(const UarchParams &params, const Program &program);
+
+    /**
+     * Run until @p max_insts instructions commit (or the program
+     * halts) and return the run statistics.
+     *
+     * @param warmup_insts commit this many instructions first with
+     *        caches and predictors learning, then reset statistics
+     *        (the paper's sampling methodology warms structures
+     *        before measuring)
+     */
+    SimResult run(std::uint64_t max_insts,
+                  std::uint64_t warmup_insts = 0);
+
+    /** Single-step one cycle (exposed for tests). */
+    void tick();
+
+    const SimResult &stats() const { return res; }
+    Cycle now() const { return cycle; }
+
+    /** The committed memory image (for architectural checks). */
+    const SparseMemory &committedMemory() const { return image; }
+
+    /** Rename-state invariant check (for tests). */
+    bool renameConsistent() const { return rename.consistent(); }
+
+  private:
+    // --- pipeline stages (core.cc / core_*.cc) -----------------------
+    void doFetch();
+    void doRename();
+    void doIssue();
+    void doBackendEntry();
+    void doRetire();
+
+    // --- rename helpers ------------------------------------------------
+    bool renameOne(Inflight &inf);
+    void renameSources(Inflight &inf);
+    void allocateDest(Inflight &inf);
+    bool renameLoadNosq(Inflight &inf);
+    void renameLoadBaseline(Inflight &inf);
+    void renameStore(Inflight &inf);
+
+    // --- issue helpers ----------------------------------------------------
+    bool sourcesReady(const Inflight &inf) const;
+    bool loadMayIssue(Inflight &inf);
+    void executeLoad(Inflight &inf);
+    void executeStore(Inflight &inf);
+
+    // --- commit helpers -----------------------------------------------------
+    void retireLoad(Inflight &inf, bool &flushed);
+    void trainBypass(const Inflight &inf, bool mispredicted);
+    void flushAfter(InstSeq boundary_seq);
+
+    // --- misc helpers -------------------------------------------------------
+    Inflight *findStoreBySsn(SSN ssn);
+    std::uint64_t readImage(Addr addr, unsigned size,
+                            Opcode op) const;
+    void recordCommOracle(const DynInst &di);
+    void drainForSsnWrap();
+    unsigned backendDepth() const
+    {
+        return params.effectiveBackendDepth();
+    }
+
+    // --- configuration ------------------------------------------------------
+    UarchParams params;
+
+    // --- time ---------------------------------------------------------------
+    Cycle cycle = 0;
+
+    // --- instruction supply -------------------------------------------------
+    TraceStream stream;
+    std::deque<Inflight> fetchQueue;
+    bool traceExhausted = false;
+    Cycle fetchStalledUntil = 0;
+    InstSeq redirectWaitSeq = 0; // mispredicted branch being awaited
+
+    // --- window -------------------------------------------------------------
+    std::deque<Inflight> rob;
+    std::size_t backendCount = 0; // rob entries already in back-end
+    unsigned iqCount = 0;
+
+    // --- register state -----------------------------------------------------
+    RenameState rename;
+
+    // --- memory state -------------------------------------------------------
+    SparseMemory image; // committed architectural memory
+    MemHierarchy mem;
+
+    // --- front end ----------------------------------------------------------
+    BranchPredictor branchPred;
+    PathHistory pathHist;
+
+    // --- baseline LSU -------------------------------------------------------
+    StoreQueue sq;
+    StoreSets storeSets;
+    unsigned lqOccupancy = 0;
+
+    // --- NoSQ machinery -----------------------------------------------------
+    StoreRegisterQueue srq;
+    BypassPredictor bypassPred;
+    Tssbf tssbf;
+
+    // --- SSN state ----------------------------------------------------------
+    SsnState ssn;
+    std::unordered_map<SSN, InstSeq> inflightStoreSeq;
+    /** SPCT: committed-store SSN -> PC (for StoreSets training). */
+    std::vector<Addr> spct;
+
+    // --- oracle comm measurement (Table 5) ----------------------------------
+    static constexpr unsigned comm_window = 128;
+    std::unordered_map<std::uint64_t, unsigned> recentStoreSizes;
+    std::deque<std::uint64_t> recentStoreOrder;
+
+    // --- results ------------------------------------------------------------
+    SimResult res;
+    std::uint64_t committed = 0;
+    std::uint64_t commitBudget = ~std::uint64_t(0);
+};
+
+} // namespace nosq
+
+#endif // NOSQ_OOO_CORE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * End-of-run statistics reported by the timing core.
+ */
+
+#ifndef NOSQ_OOO_SIM_STATS_HH
+#define NOSQ_OOO_SIM_STATS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nosq {
+
+/** Aggregate counters for one simulation run. */
+struct SimResult
+{
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+
+    // --- oracle communication (Table 5 left columns) ------------------
+    std::uint64_t commLoads = 0;
+    std::uint64_t partialCommLoads = 0;
+
+    // --- NoSQ behaviour -------------------------------------------------
+    std::uint64_t bypassedLoads = 0;  // SMB short-circuited
+    std::uint64_t shiftUops = 0;      // partial-word bypasses
+    std::uint64_t delayedLoads = 0;   // confidence-delayed
+    std::uint64_t bypassMispredicts = 0; // flushes from load values
+
+    // --- verification ----------------------------------------------------
+    std::uint64_t reexecLoads = 0;
+    std::uint64_t loadFlushes = 0;
+
+    // --- data cache traffic (Figure 4) -----------------------------------
+    std::uint64_t dcacheReadsCore = 0;
+    std::uint64_t dcacheReadsBackend = 0;
+    std::uint64_t dcacheWrites = 0;
+
+    // --- front end --------------------------------------------------------
+    std::uint64_t branchMispredicts = 0;
+
+    // --- baseline LSU -------------------------------------------------------
+    std::uint64_t sqForwards = 0;
+    std::uint64_t sqStalls = 0;
+
+    // --- rare events --------------------------------------------------------
+    std::uint64_t ssnWrapDrains = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(insts) / cycles : 0.0;
+    }
+
+    double
+    mispredictsPer10kLoads() const
+    {
+        return loads
+            ? 10000.0 * static_cast<double>(bypassMispredicts) / loads
+            : 0.0;
+    }
+
+    double
+    pctLoadsDelayed() const
+    {
+        return loads
+            ? 100.0 * static_cast<double>(delayedLoads) / loads
+            : 0.0;
+    }
+
+    double
+    pctCommLoads() const
+    {
+        return loads
+            ? 100.0 * static_cast<double>(commLoads) / loads : 0.0;
+    }
+
+    double
+    pctPartialCommLoads() const
+    {
+        return loads
+            ? 100.0 * static_cast<double>(partialCommLoads) / loads
+            : 0.0;
+    }
+
+    double
+    reexecRate() const
+    {
+        return loads
+            ? static_cast<double>(reexecLoads) / loads : 0.0;
+    }
+};
+
+} // namespace nosq
+
+#endif // NOSQ_OOO_SIM_STATS_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Machine configuration (Section 4.1) for the timing core.
+ */
+
+#ifndef NOSQ_OOO_UARCH_PARAMS_HH
+#define NOSQ_OOO_UARCH_PARAMS_HH
+
+#include "frontend/branch_predictor.hh"
+#include "lsu/store_sets.hh"
+#include "memsys/cache.hh"
+#include "nosq/bypass_predictor.hh"
+#include "nosq/ssn.hh"
+#include "nosq/tssbf.hh"
+
+namespace nosq {
+
+/** Load/store unit organization (Figure 1's three designs + ideals). */
+enum class LsuMode : std::uint8_t {
+    /** Associative SQ with oracle (perfect) load scheduling: the
+     * normalization baseline of Figures 2 and 3. */
+    SqPerfect,
+    /** Associative SQ with StoreSets load scheduling: the realistic
+     * conventional design (first bar of Figures 2 and 3). */
+    SqStoreSets,
+    /** NoSQ: exclusive speculative memory bypassing, no SQ, no LQ,
+     * stores execute in the in-order back-end. */
+    Nosq,
+    /** NoSQ with a perfect bypassing predictor and idealized
+     * partial-word support (fourth bar of Figures 2 and 3). */
+    NosqPerfect,
+};
+
+const char *lsuModeName(LsuMode mode);
+
+/** Full machine configuration. */
+struct UarchParams
+{
+    LsuMode mode = LsuMode::SqStoreSets;
+    /** Enable the confidence-based delay mechanism (NoSQ only). */
+    bool nosqDelay = true;
+    /**
+     * Enable SVW re-execution filtering. Disabling it re-executes
+     * every load in the back-end (the strawman of Section 2.2 whose
+     * cache-port contention motivates SVW).
+     */
+    bool svwFilter = true;
+
+    // --- widths -------------------------------------------------------
+    unsigned fetchWidth = 4;
+    unsigned renameWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned maxBranchesPerCycle = 2;
+
+    // --- window structures ---------------------------------------------
+    unsigned robSize = 128;
+    unsigned iqSize = 40;
+    unsigned lqSize = 48;
+    unsigned sqSize = 24;
+    unsigned numPhysRegs = 160;
+    unsigned fetchBufferSize = 32;
+
+    // --- per-class issue limits (total <= issueWidth) ------------------
+    unsigned issueSimple = 4;
+    unsigned issueComplex = 2;
+    unsigned issueBranch = 1;
+    unsigned issueLoad = 1;
+    unsigned issueStore = 1;
+
+    // --- pipeline depths ------------------------------------------------
+    /** predict(1) + fetch(3) + decode(1): cycles from fetch to the
+     * earliest rename. */
+    unsigned fetchToRename = 5;
+    /** schedule(1) + register read(2): issue-to-execute latency. */
+    unsigned issueToExec = 3;
+    /** Baseline back-end: setup, SVW, 3x dcache, commit. */
+    unsigned backendDepth = 6;
+    /** NoSQ back-end: setup, 2x regread, agen/SVW, 3x dcache,
+     * commit. */
+    unsigned backendDepthNosq = 8;
+
+    // --- component configs ----------------------------------------------
+    BranchPredictorParams branch;
+    BypassPredictorParams bypass;
+    StoreSetsParams storeSets;
+    TssbfParams tssbf;
+    MemSysParams memsys;
+
+    /** SSN wraparound period (lower it to force drains in tests). */
+    SSN ssnWrapPeriod = ssn_wrap_period;
+
+    /** @return the back-end depth for the configured mode. */
+    unsigned
+    effectiveBackendDepth() const
+    {
+        return (mode == LsuMode::Nosq || mode == LsuMode::NosqPerfect)
+            ? backendDepthNosq : backendDepth;
+    }
+
+    bool
+    isNosq() const
+    {
+        return mode == LsuMode::Nosq || mode == LsuMode::NosqPerfect;
+    }
+};
+
+/**
+ * The paper's two machine sizes.
+ *
+ * @param mode LSU organization
+ * @param big_window true for the 256-entry-window machine of
+ *        Figure 3 (window resources doubled, branch predictor
+ *        quadrupled, bypassing predictor NOT enlarged)
+ */
+UarchParams makeParams(LsuMode mode, bool big_window = false);
+
+} // namespace nosq
+
+#endif // NOSQ_OOO_UARCH_PARAMS_HH

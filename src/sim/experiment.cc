@@ -1,0 +1,53 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "workload/generator.hh"
+
+namespace nosq {
+
+std::uint64_t
+defaultSimInsts()
+{
+    if (const char *env = std::getenv("NOSQ_SIM_INSTS")) {
+        const auto v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 300000;
+}
+
+SimResult
+runBenchmark(const BenchmarkProfile &profile,
+             const UarchParams &params, std::uint64_t max_insts,
+             std::uint64_t seed)
+{
+    const Program program = synthesize(profile, seed);
+    OooCore core(params, program);
+    return core.run(max_insts);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+amean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace nosq

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Experiment harness: benchmark runners and paper-figure helpers
+ * shared by the bench binaries and examples.
+ */
+
+#ifndef NOSQ_SIM_EXPERIMENT_HH
+#define NOSQ_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ooo/core.hh"
+#include "ooo/sim_stats.hh"
+#include "ooo/uarch_params.hh"
+#include "workload/profiles.hh"
+
+namespace nosq {
+
+/** One benchmark run under one configuration. */
+struct RunResult
+{
+    std::string benchmark;
+    Suite suite = Suite::Media;
+    std::string config;
+    SimResult sim;
+};
+
+/** Simulation length control (overridable via NOSQ_SIM_INSTS). */
+std::uint64_t defaultSimInsts();
+
+/** Synthesize @p profile and run it on @p params. */
+SimResult runBenchmark(const BenchmarkProfile &profile,
+                       const UarchParams &params,
+                       std::uint64_t max_insts,
+                       std::uint64_t seed = 1);
+
+/** Geometric mean of a vector of ratios. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double amean(const std::vector<double> &values);
+
+} // namespace nosq
+
+#endif // NOSQ_SIM_EXPERIMENT_HH

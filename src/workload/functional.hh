@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The architectural (functional) simulator.
+ *
+ * Executes the micro-ISA one instruction at a time, producing DynInst
+ * records annotated with the byte-granular dependence oracle. The
+ * timing model treats its output as the correct-path instruction
+ * stream (trace-driven control flow).
+ */
+
+#ifndef NOSQ_WORKLOAD_FUNCTIONAL_HH
+#define NOSQ_WORKLOAD_FUNCTIONAL_HH
+
+#include <array>
+#include <deque>
+
+#include "isa/program.hh"
+#include "workload/memory.hh"
+#include "workload/trace.hh"
+
+namespace nosq {
+
+/** Architectural interpreter with dependence-oracle annotation. */
+class FunctionalSim
+{
+  public:
+    explicit FunctionalSim(const Program &program);
+
+    /**
+     * Execute one instruction.
+     *
+     * @param out receives the dynamic instruction record
+     * @return false once the program has halted (out is not written)
+     */
+    bool step(DynInst &out);
+
+    bool halted() const { return isHalted; }
+    Addr pc() const { return currentPc; }
+
+    /** Architectural register read (for tests and examples). */
+    std::uint64_t reg(RegIndex index) const { return regFile[index]; }
+
+    const SparseMemory &memory() const { return mem; }
+    SparseMemory &memory() { return mem; }
+
+    /** Total dynamic instructions executed so far. */
+    InstSeq instCount() const { return seqCounter; }
+
+    /** Total dynamic stores executed so far (== last assigned SSN). */
+    SSN storeCount() const { return ssnCounter; }
+
+  private:
+    std::uint64_t aluResult(const Instruction &si) const;
+
+    // Held by value so callers may pass temporaries; programs are a
+    // few kilobytes of code plus init images.
+    const Program prog;
+    Addr currentPc;
+    std::array<std::uint64_t, num_arch_regs> regFile{};
+    SparseMemory mem;
+    ShadowMemory shadow;
+    InstSeq seqCounter = 0;
+    SSN ssnCounter = 0;
+    bool isHalted = false;
+};
+
+/**
+ * Rewindable stream of DynInsts on top of FunctionalSim.
+ *
+ * The timing model fetches through a cursor; on a pipeline flush it
+ * rewinds the cursor to the squashed instruction. Entries older than
+ * the retirement barrier are discarded to bound memory.
+ */
+class TraceStream
+{
+  public:
+    explicit TraceStream(const Program &program);
+
+    /** @return true if an instruction is available at the cursor. */
+    bool hasNext();
+
+    /** Inspect the instruction at the cursor without consuming it. */
+    const DynInst &peek();
+
+    /** Consume the instruction at the cursor and advance. */
+    const DynInst &next();
+
+    /**
+     * Move the cursor back so the next fetched instruction is @p seq.
+     * @p seq must not have been retired.
+     */
+    void rewindTo(InstSeq seq);
+
+    /** Mark all instructions with seq <= @p seq retired. */
+    void retireUpTo(InstSeq seq);
+
+    /** Dynamic seq the cursor will deliver next (1-based). */
+    InstSeq cursorSeq() const { return baseSeq + cursor; }
+
+    FunctionalSim &functional() { return func; }
+
+  private:
+    bool fill();
+
+    FunctionalSim func;
+    std::deque<DynInst> buffer;
+    InstSeq baseSeq = 1; // seq of buffer.front()
+    std::size_t cursor = 0;
+    InstSeq retired = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_WORKLOAD_FUNCTIONAL_HH

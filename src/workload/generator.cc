@@ -1,0 +1,219 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace nosq {
+
+namespace {
+
+/** One kernel kind the solver may allocate calls to. */
+struct MixSource
+{
+    KernelKind kind;
+    double weight;
+    KernelParams params;
+    unsigned calls = 0;
+};
+
+/** Persistent registers each kernel kind needs (see kernels.cc). */
+unsigned
+persistentRegsFor(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::PointerChase:
+        return 4;
+      case KernelKind::DataDep:
+        return 3;
+      case KernelKind::LoopCarried:
+      case KernelKind::PathDep:
+      case KernelKind::FpConvert:
+      case KernelKind::Compute:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+/** Allocate calls among weighted sources to hit a load target. */
+void
+allocate(std::vector<MixSource> &sources, double target_loads,
+         double KernelCounts::*contribution)
+{
+    double sum_w = 0;
+    for (const auto &s : sources)
+        sum_w += s.weight;
+    if (sum_w <= 0 || target_loads <= 0)
+        return;
+    for (auto &s : sources) {
+        const KernelCounts c = kernelCounts(s.kind, s.params);
+        const double per_call = c.*contribution;
+        if (per_call <= 0)
+            continue;
+        const double want = target_loads * s.weight / sum_w;
+        auto calls = static_cast<long>(std::lround(want / per_call));
+        if (calls == 0 && want > 0.3 * per_call)
+            calls = 1;
+        s.calls = static_cast<unsigned>(std::max(calls, 0L));
+    }
+}
+
+} // anonymous namespace
+
+Program
+synthesize(const BenchmarkProfile &profile, std::uint64_t seed,
+           MixReport *report)
+{
+    const double total_loads = 1024.0;
+    const double partial_target =
+        profile.pctPartial / 100.0 * total_loads;
+    const double comm_target = profile.pctComm / 100.0 * total_loads;
+
+    KernelParams base;
+    base.fpFlavor = profile.fpFlavor;
+    base.branchNoise = profile.branchNoise;
+
+    // --- partial-word communication sources --------------------------
+    std::vector<MixSource> partials;
+    if (profile.wStruct > 0)
+        partials.push_back({KernelKind::StructCopy, profile.wStruct,
+                            base});
+    if (profile.wMemcpy > 0)
+        partials.push_back({KernelKind::MemcpyByte, profile.wMemcpy,
+                            base});
+    if (profile.wFpcvt > 0)
+        partials.push_back({KernelKind::FpConvert, profile.wFpcvt,
+                            base});
+    allocate(partials, partial_target,
+             &KernelCounts::partialCommLoads);
+
+    double loads = 0, comm = 0, partial = 0, insts = 0;
+    auto tally = [&](const std::vector<MixSource> &sources) {
+        for (const auto &s : sources) {
+            const KernelCounts c = kernelCounts(s.kind, s.params);
+            loads += s.calls * c.loads;
+            comm += s.calls * c.commLoads;
+            partial += s.calls * c.partialCommLoads;
+            insts += s.calls * c.insts;
+        }
+    };
+    tally(partials);
+
+    // --- full-word communication sources -----------------------------
+    // (struct copies contribute one full-word comm load per call,
+    // already counted in `comm`; subtract before allocating.)
+    std::vector<MixSource> fulls;
+    if (profile.wSpill > 0)
+        fulls.push_back({KernelKind::StackSpill, profile.wSpill,
+                         base});
+    if (profile.wLoop > 0)
+        fulls.push_back({KernelKind::LoopCarried, profile.wLoop,
+                         base});
+    if (profile.wPath > 0)
+        fulls.push_back({KernelKind::PathDep, profile.wPath, base});
+    if (profile.wCall > 0)
+        fulls.push_back({KernelKind::Callsite, profile.wCall, base});
+    if (profile.wData > 0)
+        fulls.push_back({KernelKind::DataDep, profile.wData, base});
+    const double full_target =
+        std::max(0.0, comm_target - comm);
+    allocate(fulls, full_target, &KernelCounts::commLoads);
+    tally(fulls);
+
+    // --- background (non-communicating) loads ------------------------
+    std::vector<MixSource> background;
+    KernelParams stream_params = base;
+    stream_params.footprintLog2 = profile.streamFootprintLog2;
+    KernelParams chase_params = base;
+    chase_params.footprintLog2 = profile.chaseFootprintLog2;
+    if (profile.wStream > 0)
+        background.push_back({KernelKind::Stream, profile.wStream,
+                              stream_params});
+    if (profile.wChase > 0)
+        background.push_back({KernelKind::PointerChase,
+                              profile.wChase, chase_params});
+    if (background.empty())
+        background.push_back({KernelKind::Stream, 1.0, stream_params});
+    const double bg_target = std::max(0.0, total_loads - loads);
+    allocate(background, bg_target, &KernelCounts::loads);
+    tally(background);
+
+    // --- compute filler ----------------------------------------------
+    unsigned mem_calls = 0;
+    for (const auto *group : {&partials, &fulls, &background})
+        for (const auto &s : *group)
+            mem_calls += s.calls;
+    std::vector<MixSource> compute;
+    const auto compute_calls = static_cast<unsigned>(std::lround(
+        mem_calls * profile.computePerCall));
+    if (compute_calls > 0) {
+        compute.push_back({KernelKind::Compute, 1.0, base});
+        compute.back().calls = compute_calls;
+        tally(compute);
+    }
+
+    // --- instantiate kernels (with codeBloat replication) ------------
+    WorkloadBuilder wb(seed ^ 0x9e3779b97f4a7c15ull);
+    Rng rng(seed * 0x2545f491'4f6cdd1dull + 1);
+
+    std::vector<std::size_t> schedule;
+    unsigned regs_used = 0;
+    const unsigned regs_budget = 30; // of 32 persistent registers
+
+    auto instantiate = [&](const MixSource &s) {
+        if (s.calls == 0)
+            return;
+        unsigned copies = std::max(1u, profile.codeBloat);
+        copies = std::min(copies, s.calls);
+        const unsigned need = persistentRegsFor(s.kind);
+        while (copies > 1 &&
+               regs_used + copies * need > regs_budget) {
+            --copies;
+        }
+        if (regs_used + copies * need > regs_budget)
+            return; // out of registers; drop this source
+        std::vector<std::size_t> ids;
+        for (unsigned i = 0; i < copies; ++i) {
+            ids.push_back(wb.addKernel(s.kind, s.params));
+            regs_used += need;
+        }
+        for (unsigned c = 0; c < s.calls; ++c)
+            schedule.push_back(ids[c % copies]);
+        if (report)
+            report->calls[s.kind] += s.calls;
+    };
+
+    for (const auto *group : {&partials, &fulls, &background,
+                              &compute})
+        for (const auto &s : *group)
+            instantiate(s);
+
+    if (schedule.empty()) {
+        // Degenerate profile: fall back to a fixed harmless mix.
+        MixSource fallback{KernelKind::Stream, 1.0, stream_params};
+        fallback.calls = 8;
+        instantiate(fallback);
+        MixSource fill{KernelKind::Compute, 1.0, base};
+        fill.calls = 8;
+        instantiate(fill);
+    }
+
+    // Deterministic shuffle so kernel calls interleave.
+    for (std::size_t i = schedule.size() - 1; i > 0; --i) {
+        const std::size_t j = rng.below(i + 1);
+        std::swap(schedule[i], schedule[j]);
+    }
+
+    if (report) {
+        report->totalLoads = loads;
+        report->commLoads = comm;
+        report->partialLoads = partial;
+    }
+
+    return wb.build(schedule);
+}
+
+} // namespace nosq

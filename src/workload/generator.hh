@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Benchmark program synthesis: profile -> kernel mix -> Program.
+ */
+
+#ifndef NOSQ_WORKLOAD_GENERATOR_HH
+#define NOSQ_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "isa/program.hh"
+#include "workload/kernels.hh"
+#include "workload/profiles.hh"
+
+namespace nosq {
+
+/** Mix-solver output, exposed for tests and debugging. */
+struct MixReport
+{
+    /** Calls per kernel kind in one superblock. */
+    std::map<KernelKind, unsigned> calls;
+    /** Expected loads per superblock. */
+    double totalLoads = 0;
+    /** Expected in-window communicating loads per superblock. */
+    double commLoads = 0;
+    /** Expected partial-word communicating loads per superblock. */
+    double partialLoads = 0;
+};
+
+/**
+ * Synthesize the benchmark program for @p profile.
+ *
+ * The solver picks per-kernel call counts for a superblock of roughly
+ * 1024 loads such that the expected in-window communication rate and
+ * partial-word share match the profile's Table 5 targets, honouring
+ * the profile's composition weights. The superblock repeats forever;
+ * the timing harness decides the simulation length.
+ */
+Program synthesize(const BenchmarkProfile &profile,
+                   std::uint64_t seed = 1,
+                   MixReport *report = nullptr);
+
+} // namespace nosq
+
+#endif // NOSQ_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Kernel library for synthetic benchmark construction.
+ *
+ * Each kernel is a small function reproducing one class of store-load
+ * communication behaviour observed in the paper's benchmarks:
+ *
+ *  - StackSpill:   callee-save spill/fill; short, stable, full-word
+ *                  communication distances (the classic SMB target).
+ *  - StructCopy:   mixed-size field writes re-read at matching and
+ *                  shifted offsets; same-size partial-word bypassing
+ *                  plus nonzero-shift narrow-from-wide reads (3.5).
+ *  - MemcpyByte:   byte stores later read by wider loads; multi-writer
+ *                  communication that SMB cannot bypass and that the
+ *                  delay mechanism must catch (g721.e's "two 1-byte
+ *                  stores to a 2-byte load").
+ *  - LoopCarried:  X[i] = A * X[i-2]; dependence on a non-most-recent
+ *                  instance of a static store, representable by
+ *                  distance prediction but not by store-PC schemes
+ *                  (Section 3.1).
+ *  - PathDep:      communication distance depends on a conditional
+ *                  branch direction (flow-sensitive patterns, 3.3).
+ *  - Callsite:     a shared reader function whose load's distance
+ *                  depends on the call site (context sensitivity, 3.3).
+ *  - DataDep:      data-dependent store/load indices; erratic
+ *                  communication that drives mis-predictions and the
+ *                  confidence/delay mechanism.
+ *  - FpConvert:    Alpha sts/lds float64<->float32 communication; the
+ *                  floating-point transformation of Section 3.5.
+ *  - Stream:       communication-free load/store streaming (sets the
+ *                  non-communicating load population and cache mix).
+ *  - PointerChase: serial dependent loads over a large permutation
+ *                  (low-IPC, cache-missing benchmarks such as mcf).
+ *  - Compute:      ALU/FP chains with no memory (IPC/ILP control).
+ */
+
+#ifndef NOSQ_WORKLOAD_KERNELS_HH
+#define NOSQ_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/program.hh"
+
+namespace nosq {
+
+/** Kernel behaviour classes (see file comment). */
+enum class KernelKind : std::uint8_t {
+    StackSpill,
+    StructCopy,
+    MemcpyByte,
+    LoopCarried,
+    PathDep,
+    Callsite,
+    DataDep,
+    FpConvert,
+    Stream,
+    PointerChase,
+    Compute,
+};
+
+/** Analytic per-call cost/behaviour estimates for the mix solver. */
+struct KernelCounts
+{
+    double insts = 0;
+    double loads = 0;
+    double stores = 0;
+    double commLoads = 0;        // expected in-window communicating
+    double partialCommLoads = 0; // subset that is partial-word
+};
+
+/** Tuning parameters for a kernel instance. */
+struct KernelParams
+{
+    /** log2 bytes of the data region (Stream, PointerChase). */
+    unsigned footprintLog2 = 16;
+    /** Use FP ops where the kernel has an FP flavour. */
+    bool fpFlavor = false;
+    /** Probability of emitting a data-dependent (noisy) branch. */
+    double branchNoise = 0.0;
+    /** Loop iterations per call where applicable. */
+    unsigned iters = 0; // 0 = kernel default
+};
+
+/** Handle to an emitted kernel instance. */
+struct KernelInstance
+{
+    KernelKind kind;
+    std::string entryLabel;
+    KernelCounts perCall;
+};
+
+/**
+ * Allocates data regions and persistent registers, and emits kernel
+ * bodies into a ProgramBuilder. Usage:
+ *
+ *   WorkloadBuilder wb(seed);
+ *   auto k0 = wb.addKernel(KernelKind::StackSpill, {});
+ *   ...
+ *   Program p = wb.build(schedule); // schedule = kernel ids, in order
+ */
+class WorkloadBuilder
+{
+  public:
+    explicit WorkloadBuilder(std::uint64_t seed);
+
+    /** Instantiate a kernel; returns its id (index). */
+    std::size_t addKernel(KernelKind kind, const KernelParams &params);
+
+    const KernelInstance &instance(std::size_t id) const;
+    std::size_t numKernels() const { return kernels.size(); }
+
+    /**
+     * Emit the complete program: prologue (persistent register and
+     * region initialization), the superblock of calls in @p schedule
+     * order looping forever, then all kernel bodies.
+     */
+    Program build(const std::vector<std::size_t> &schedule);
+
+  private:
+    struct PendingKernel
+    {
+        KernelKind kind;
+        KernelParams params;
+        KernelInstance inst;
+        // Resources assigned at addKernel time:
+        std::vector<RegIndex> pregs; // persistent registers
+        std::vector<Addr> regions;   // data region base addresses
+        std::vector<std::uint64_t> initValues; // per-kind payload
+        /** This instance drew a data-dependent (noisy) branch. */
+        bool noisyBranch = false;
+    };
+
+    Addr allocData(std::size_t bytes);
+    RegIndex allocPersistentReg();
+
+    void emitInit(PendingKernel &k);
+    void emitBody(PendingKernel &k);
+
+    // Per-kind emitters -- see kernels.cc.
+    void bodyStackSpill(PendingKernel &k);
+    void bodyStructCopy(PendingKernel &k);
+    void bodyMemcpyByte(PendingKernel &k);
+    void bodyLoopCarried(PendingKernel &k);
+    void bodyPathDep(PendingKernel &k);
+    void bodyCallsite(PendingKernel &k);
+    void bodyDataDep(PendingKernel &k);
+    void bodyFpConvert(PendingKernel &k);
+    void bodyStream(PendingKernel &k);
+    void bodyPointerChase(PendingKernel &k);
+    void bodyCompute(PendingKernel &k);
+
+    std::string uniqueLabel(const std::string &stem);
+
+    ProgramBuilder builder;
+    Rng rng;
+    std::vector<PendingKernel> kernels;
+    Addr dataBrk = 0x1000'0000;
+    RegIndex nextPersistent = 32;
+    unsigned labelCounter = 0;
+    bool consumed = false;
+};
+
+/** Per-call analytic counts for a kernel kind (used by tests too). */
+KernelCounts kernelCounts(KernelKind kind, const KernelParams &params);
+
+/** Human-readable kernel kind name. */
+const char *kernelKindName(KernelKind kind);
+
+} // namespace nosq
+
+#endif // NOSQ_WORKLOAD_KERNELS_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Sparse byte-addressed memory and the store-writer shadow memory.
+ *
+ * The shadow memory is the *dependence oracle*: for every byte it
+ * remembers the SSN and dynamic sequence number of the last store that
+ * wrote it. The functional simulator uses it to annotate each load
+ * with its true producing store(s), which the harness uses to measure
+ * Table 5's communication columns and the timing model uses to train
+ * idealized predictors (the "Perfect SMB" configuration of Figure 2).
+ */
+
+#ifndef NOSQ_WORKLOAD_MEMORY_HH
+#define NOSQ_WORKLOAD_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace nosq {
+
+/** Byte-addressable sparse memory backed by 4KB pages. */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned page_bits = 12;
+    static constexpr Addr page_size = Addr(1) << page_bits;
+    static constexpr Addr page_mask = page_size - 1;
+
+    /** Read @p size (1..8) bytes little-endian; unwritten bytes are 0. */
+    std::uint64_t
+    read(Addr addr, unsigned size) const
+    {
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < size; ++i)
+            value |= std::uint64_t(readByte(addr + i)) << (8 * i);
+        return value;
+    }
+
+    /** Write the low @p size bytes of @p value little-endian. */
+    void
+    write(Addr addr, unsigned size, std::uint64_t value)
+    {
+        for (unsigned i = 0; i < size; ++i)
+            writeByte(addr + i, std::uint8_t(value >> (8 * i)));
+    }
+
+    std::uint8_t
+    readByte(Addr addr) const
+    {
+        const auto it = pages.find(addr >> page_bits);
+        if (it == pages.end())
+            return 0;
+        return (*it->second)[addr & page_mask];
+    }
+
+    void
+    writeByte(Addr addr, std::uint8_t byte)
+    {
+        page(addr)[addr & page_mask] = byte;
+    }
+
+    void
+    writeBytes(Addr addr, const std::uint8_t *data, std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            writeByte(addr + i, data[i]);
+    }
+
+    std::size_t numPages() const { return pages.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, page_size>;
+
+    Page &
+    page(Addr addr)
+    {
+        auto &slot = pages[addr >> page_bits];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        return *slot;
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+/** Last-writer record for one byte of memory. */
+struct ByteWriter
+{
+    /** Low 32 bits of the writing store's SSN; 0 = never written. */
+    std::uint32_t ssn = 0;
+    /** Low 32 bits of the writing store's dynamic sequence number. */
+    std::uint32_t seq = 0;
+
+    bool valid() const { return ssn != 0; }
+};
+
+/** Byte-granular last-store-writer tracking (the dependence oracle). */
+class ShadowMemory
+{
+  public:
+    static constexpr unsigned page_bits = SparseMemory::page_bits;
+    static constexpr Addr page_size = SparseMemory::page_size;
+    static constexpr Addr page_mask = SparseMemory::page_mask;
+
+    /** Record that store (@p ssn, @p seq) wrote [addr, addr+size). */
+    void
+    recordStore(Addr addr, unsigned size, SSN ssn, InstSeq seq)
+    {
+        for (unsigned i = 0; i < size; ++i) {
+            ByteWriter &w = byte(addr + i);
+            w.ssn = static_cast<std::uint32_t>(ssn);
+            w.seq = static_cast<std::uint32_t>(seq);
+        }
+    }
+
+    /** @return the last-writer record for @p addr. */
+    ByteWriter
+    writer(Addr addr) const
+    {
+        const auto it = pages.find(addr >> page_bits);
+        if (it == pages.end())
+            return ByteWriter();
+        return (*it->second)[addr & page_mask];
+    }
+
+  private:
+    using Page = std::array<ByteWriter, page_size>;
+
+    ByteWriter &
+    byte(Addr addr)
+    {
+        auto &slot = pages[addr >> page_bits];
+        if (!slot)
+            slot = std::make_unique<Page>();
+        return (*slot)[addr & page_mask];
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_WORKLOAD_MEMORY_HH

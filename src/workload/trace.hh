@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Dynamic instruction records and the rewindable trace stream.
+ */
+
+#ifndef NOSQ_WORKLOAD_TRACE_HH
+#define NOSQ_WORKLOAD_TRACE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace nosq {
+
+/**
+ * One dynamic instruction as produced by the functional simulator.
+ *
+ * Loads carry the dependence oracle: for each accessed byte, the SSN
+ * and dynamic sequence number of the last store that wrote it (zero if
+ * the byte was never stored to). The timing model uses real values
+ * (storeData / loadValue / memValue) so speculation outcomes are
+ * decided by genuine value comparison, never by oracle flags.
+ */
+struct DynInst
+{
+    InstSeq seq = 0; // 1-based dynamic sequence number
+    Addr pc = 0;
+    Instruction si;
+    InstClass cls = InstClass::SimpleInt;
+
+    // --- memory operations ------------------------------------------
+    Addr addr = 0;
+    std::uint8_t size = 0;
+    /** Stores: the full 64-bit value of the data register. */
+    std::uint64_t storeData = 0;
+    /** Raw bytes read/written at [addr, addr+size), little-endian. */
+    std::uint64_t memValue = 0;
+    /** Loads: architectural register result (after extend/convert). */
+    std::uint64_t loadValue = 0;
+    /** Stores: the store's oracle SSN (1-based). */
+    SSN ssn = 0;
+
+    // --- load dependence oracle (per accessed byte) -------------------
+    std::array<std::uint32_t, 8> byteWriterSsn{};
+    std::array<std::uint32_t, 8> byteWriterSeq{};
+
+    // --- control flow -------------------------------------------------
+    bool taken = false;
+    Addr npc = 0; // next executed PC
+    bool halted = false;
+
+    bool isLoad() const { return cls == InstClass::Load; }
+    bool isStore() const { return cls == InstClass::Store; }
+    bool isBranch() const { return cls == InstClass::Branch; }
+
+    /**
+     * @return the youngest writer SSN over all accessed bytes, or 0 if
+     * no byte was ever written by a store.
+     */
+    std::uint32_t
+    youngestWriterSsn() const
+    {
+        std::uint32_t best = 0;
+        for (unsigned i = 0; i < size; ++i)
+            best = std::max(best, byteWriterSsn[i]);
+        return best;
+    }
+
+    /** @return the youngest writer dynamic seq, or 0. */
+    std::uint32_t
+    youngestWriterSeq() const
+    {
+        std::uint32_t best = 0;
+        for (unsigned i = 0; i < size; ++i)
+            best = std::max(best, byteWriterSeq[i]);
+        return best;
+    }
+
+    /**
+     * @return true if one single store wrote every accessed byte (the
+     * bypassable case); multi-writer and partially-unwritten loads
+     * return false.
+     */
+    bool
+    singleWriter() const
+    {
+        if (size == 0 || byteWriterSsn[0] == 0)
+            return false;
+        for (unsigned i = 1; i < size; ++i)
+            if (byteWriterSsn[i] != byteWriterSsn[0])
+                return false;
+        return true;
+    }
+};
+
+} // namespace nosq
+
+#endif // NOSQ_WORKLOAD_TRACE_HH

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Tests for the functional simulator: architectural semantics, the
+ * byte-granular dependence oracle, and the rewindable trace stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+#include "workload/functional.hh"
+#include "workload/memory.hh"
+
+namespace nosq {
+namespace {
+
+/** Run @p prog until halt (or limit) collecting the trace. */
+std::vector<DynInst>
+runAll(const Program &prog, std::size_t limit = 100000)
+{
+    FunctionalSim sim(prog);
+    std::vector<DynInst> out;
+    DynInst di;
+    while (out.size() < limit && sim.step(di))
+        out.push_back(di);
+    return out;
+}
+
+TEST(SparseMemory, ReadWriteRoundTrip)
+{
+    SparseMemory m;
+    m.write(0x1000, 8, 0x1122334455667788ull);
+    EXPECT_EQ(m.read(0x1000, 8), 0x1122334455667788ull);
+    EXPECT_EQ(m.read(0x1000, 4), 0x55667788ull);
+    EXPECT_EQ(m.read(0x1004, 4), 0x11223344ull);
+    EXPECT_EQ(m.read(0x1002, 2), 0x5566ull);
+}
+
+TEST(SparseMemory, UnwrittenReadsZero)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.read(0xdead0000, 8), 0ull);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory m;
+    const Addr addr = SparseMemory::page_size - 4;
+    m.write(addr, 8, 0xa1b2c3d4e5f60718ull);
+    EXPECT_EQ(m.read(addr, 8), 0xa1b2c3d4e5f60718ull);
+}
+
+TEST(ShadowMemory, TracksLastWriterPerByte)
+{
+    ShadowMemory s;
+    s.recordStore(0x100, 8, 1, 10); // SSN 1 writes 8 bytes
+    s.recordStore(0x102, 2, 2, 11); // SSN 2 overwrites bytes 2-3
+    EXPECT_EQ(s.writer(0x100).ssn, 1u);
+    EXPECT_EQ(s.writer(0x102).ssn, 2u);
+    EXPECT_EQ(s.writer(0x103).ssn, 2u);
+    EXPECT_EQ(s.writer(0x104).ssn, 1u);
+    EXPECT_FALSE(s.writer(0x200).valid());
+}
+
+TEST(Functional, AluBasics)
+{
+    ProgramBuilder b;
+    b.li(3, 10);
+    b.li(4, 3);
+    b.add(5, 3, 4);
+    b.sub(6, 3, 4);
+    b.mul(7, 3, 4);
+    b.cmplt(8, 4, 3);
+    b.halt();
+    Program p = b.build();
+    FunctionalSim sim(p);
+    DynInst di;
+    while (sim.step(di)) {}
+    EXPECT_EQ(sim.reg(5), 13u);
+    EXPECT_EQ(sim.reg(6), 7u);
+    EXPECT_EQ(sim.reg(7), 30u);
+    EXPECT_EQ(sim.reg(8), 1u);
+}
+
+TEST(Functional, ZeroRegisterIsImmutable)
+{
+    ProgramBuilder b;
+    b.li(reg_zero, 99);
+    b.addi(3, reg_zero, 5);
+    b.halt();
+    Program p = b.build();
+    FunctionalSim sim(p);
+    DynInst di;
+    while (sim.step(di)) {}
+    EXPECT_EQ(sim.reg(reg_zero), 0u);
+    EXPECT_EQ(sim.reg(3), 5u);
+}
+
+TEST(Functional, StoreLoadRoundTripAllSizes)
+{
+    ProgramBuilder b;
+    b.li(3, 0x2000);
+    b.li(4, static_cast<std::int64_t>(0xfedcba9876543210ull));
+    b.st8(3, 0, 4);
+    b.st4(3, 8, 4);
+    b.st2(3, 12, 4);
+    b.st1(3, 14, 4);
+    b.ld8(10, 3, 0);
+    b.ld4u(11, 3, 8);
+    b.ld2u(12, 3, 12);
+    b.ld1u(13, 3, 14);
+    b.ld4s(14, 3, 8);
+    b.halt();
+    Program p = b.build();
+    FunctionalSim sim(p);
+    DynInst di;
+    while (sim.step(di)) {}
+    EXPECT_EQ(sim.reg(10), 0xfedcba9876543210ull);
+    EXPECT_EQ(sim.reg(11), 0x76543210ull);
+    EXPECT_EQ(sim.reg(12), 0x3210ull);
+    EXPECT_EQ(sim.reg(13), 0x10ull);
+    EXPECT_EQ(sim.reg(14), 0x76543210ull); // positive, no extension
+}
+
+TEST(Functional, SignExtendingLoads)
+{
+    ProgramBuilder b;
+    b.li(3, 0x2000);
+    b.li(4, 0xff);
+    b.st1(3, 0, 4);
+    b.ld1s(5, 3, 0);
+    b.ld1u(6, 3, 0);
+    b.halt();
+    Program p = b.build();
+    FunctionalSim sim(p);
+    DynInst di;
+    while (sim.step(di)) {}
+    EXPECT_EQ(sim.reg(5), 0xffffffffffffffffull);
+    EXPECT_EQ(sim.reg(6), 0xffull);
+}
+
+TEST(Functional, FpConvertStoreLoad)
+{
+    // Store 1.5 (double) as float32, load it back as double.
+    ProgramBuilder b;
+    b.li(3, 0x3000);
+    b.li(4, 0x3ff8000000000000ll); // 1.5 as double bits
+    b.sts(3, 0, 4);
+    b.lds(5, 3, 0);
+    b.halt();
+    Program p = b.build();
+    FunctionalSim sim(p);
+    DynInst di;
+    while (sim.step(di)) {}
+    EXPECT_EQ(sim.reg(5), 0x3ff8000000000000ull);
+    // In-memory image must be the 4-byte float pattern.
+    EXPECT_EQ(sim.memory().read(0x3000, 4), 0x3fc00000ull);
+}
+
+TEST(Functional, BranchesAndCalls)
+{
+    ProgramBuilder b;
+    b.li(3, 2);
+    b.label("loop");
+    b.addi(4, 4, 10);
+    b.addi(3, 3, -1);
+    b.bne(3, reg_zero, "loop");
+    b.call("fn");
+    b.halt();
+    b.label("fn");
+    b.addi(4, 4, 100);
+    b.ret();
+    Program p = b.build();
+    FunctionalSim sim(p);
+    DynInst di;
+    while (sim.step(di)) {}
+    EXPECT_EQ(sim.reg(4), 120u);
+}
+
+TEST(Functional, TraceRecordsBranchOutcome)
+{
+    ProgramBuilder b;
+    b.li(3, 1);
+    b.beq(3, reg_zero, "skip"); // not taken
+    b.bne(3, reg_zero, "skip"); // taken
+    b.nop();
+    b.label("skip");
+    b.halt();
+    Program p = b.build();
+    const auto trace = runAll(p);
+    ASSERT_GE(trace.size(), 3u);
+    EXPECT_FALSE(trace[1].taken);
+    EXPECT_EQ(trace[1].npc, trace[1].pc + inst_bytes);
+    EXPECT_TRUE(trace[2].taken);
+    EXPECT_EQ(trace[2].npc, 4 * inst_bytes);
+}
+
+TEST(Functional, OracleSingleWriter)
+{
+    ProgramBuilder b;
+    b.li(3, 0x2000);
+    b.li(4, 42);
+    b.st8(3, 0, 4);   // SSN 1
+    b.ld8(5, 3, 0);
+    b.halt();
+    Program p = b.build();
+    const auto trace = runAll(p);
+    const DynInst &ld = trace[3];
+    ASSERT_TRUE(ld.isLoad());
+    EXPECT_TRUE(ld.singleWriter());
+    EXPECT_EQ(ld.youngestWriterSsn(), 1u);
+    EXPECT_EQ(ld.loadValue, 42u);
+}
+
+TEST(Functional, OracleMultiWriter)
+{
+    ProgramBuilder b;
+    b.li(3, 0x2000);
+    b.li(4, 0x11);
+    b.li(5, 0x22);
+    b.st1(3, 0, 4);   // SSN 1
+    b.st1(3, 1, 5);   // SSN 2
+    b.ld2u(6, 3, 0);  // reads both
+    b.halt();
+    Program p = b.build();
+    const auto trace = runAll(p);
+    const DynInst &ld = trace[5];
+    ASSERT_TRUE(ld.isLoad());
+    EXPECT_FALSE(ld.singleWriter());
+    EXPECT_EQ(ld.byteWriterSsn[0], 1u);
+    EXPECT_EQ(ld.byteWriterSsn[1], 2u);
+    EXPECT_EQ(ld.youngestWriterSsn(), 2u);
+    EXPECT_EQ(ld.loadValue, 0x2211u);
+}
+
+TEST(Functional, OraclePartiallyUnwrittenIsNotSingleWriter)
+{
+    ProgramBuilder b;
+    b.li(3, 0x2000);
+    b.li(4, 0x7f);
+    b.st1(3, 0, 4);   // only byte 0 written
+    b.ld2u(5, 3, 0);
+    b.halt();
+    Program p = b.build();
+    const auto trace = runAll(p);
+    const DynInst &ld = trace[3];
+    EXPECT_FALSE(ld.singleWriter());
+    EXPECT_EQ(ld.byteWriterSsn[0], 1u);
+    EXPECT_EQ(ld.byteWriterSsn[1], 0u);
+}
+
+TEST(Functional, OracleOverwriteTracksYoungest)
+{
+    ProgramBuilder b;
+    b.li(3, 0x2000);
+    b.li(4, 1);
+    b.li(5, 2);
+    b.st8(3, 0, 4);   // SSN 1
+    b.st8(3, 0, 5);   // SSN 2 overwrites
+    b.ld8(6, 3, 0);
+    b.halt();
+    Program p = b.build();
+    const auto trace = runAll(p);
+    const DynInst &ld = trace[5];
+    EXPECT_TRUE(ld.singleWriter());
+    EXPECT_EQ(ld.youngestWriterSsn(), 2u);
+    EXPECT_EQ(ld.loadValue, 2u);
+}
+
+TEST(Functional, InitDataDoesNotCreateWriters)
+{
+    ProgramBuilder b;
+    b.li(3, 0x4000);
+    b.ld8(4, 3, 0);
+    b.halt();
+    b.initWords(0x4000, {777});
+    Program p = b.build();
+    const auto trace = runAll(p);
+    const DynInst &ld = trace[1];
+    EXPECT_EQ(ld.loadValue, 777u);
+    EXPECT_EQ(ld.youngestWriterSsn(), 0u);
+    EXPECT_FALSE(ld.singleWriter());
+}
+
+TEST(Functional, SsnsAreSequential)
+{
+    ProgramBuilder b;
+    b.li(3, 0x2000);
+    for (int i = 0; i < 5; ++i)
+        b.st8(3, i * 8, 3);
+    b.halt();
+    Program p = b.build();
+    const auto trace = runAll(p);
+    SSN expect = 1;
+    for (const auto &di : trace) {
+        if (di.isStore()) {
+            EXPECT_EQ(di.ssn, expect++);
+        }
+    }
+    EXPECT_EQ(expect, 6u);
+}
+
+TEST(TraceStream, SequentialDelivery)
+{
+    ProgramBuilder b;
+    b.li(3, 1);
+    b.li(4, 2);
+    b.add(5, 3, 4);
+    b.halt();
+    Program p = b.build();
+    TraceStream ts(p);
+    EXPECT_EQ(ts.next().seq, 1u);
+    EXPECT_EQ(ts.next().seq, 2u);
+    EXPECT_EQ(ts.peek().seq, 3u);
+    EXPECT_EQ(ts.next().seq, 3u);
+    EXPECT_EQ(ts.next().seq, 4u); // halt
+    EXPECT_FALSE(ts.hasNext());
+}
+
+TEST(TraceStream, RewindReplaysIdentically)
+{
+    ProgramBuilder b;
+    b.li(3, 0x2000);
+    b.li(4, 7);
+    b.st8(3, 0, 4);
+    b.ld8(5, 3, 0);
+    b.halt();
+    Program p = b.build();
+    TraceStream ts(p);
+    std::vector<DynInst> first;
+    for (int i = 0; i < 5; ++i)
+        first.push_back(ts.next());
+    ts.rewindTo(3);
+    EXPECT_EQ(ts.cursorSeq(), 3u);
+    const DynInst &replay = ts.next();
+    EXPECT_EQ(replay.seq, first[2].seq);
+    EXPECT_EQ(replay.pc, first[2].pc);
+    EXPECT_EQ(replay.addr, first[2].addr);
+}
+
+TEST(TraceStream, RetireBoundsBuffer)
+{
+    ProgramBuilder b;
+    b.label("top");
+    b.addi(3, 3, 1);
+    b.jmp("top");
+    Program p = b.build();
+    TraceStream ts(p);
+    for (int i = 0; i < 10000; ++i) {
+        const DynInst &di = ts.next();
+        if (di.seq > 256)
+            ts.retireUpTo(di.seq - 256);
+    }
+    // After retirement the stream can still rewind within the window.
+    ts.rewindTo(ts.cursorSeq() - 64);
+    EXPECT_TRUE(ts.hasNext());
+}
+
+} // anonymous namespace
+} // namespace nosq

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the baseline LSU: associative store queue
+ * forwarding, load queue, and StoreSets scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lsu/load_queue.hh"
+#include "lsu/store_queue.hh"
+#include "lsu/store_sets.hh"
+
+namespace nosq {
+namespace {
+
+TEST(StoreQueue, ForwardFullCoverage)
+{
+    StoreQueue sq(24);
+    sq.allocate(1, 10);
+    sq.execute(1, 0x1000, 8, 0x1122334455667788ull);
+    const auto r = sq.search(0x1000, 8, 20);
+    EXPECT_EQ(r.outcome, SqSearchOutcome::Forward);
+    EXPECT_EQ(r.ssn, 1u);
+    EXPECT_EQ(r.raw, 0x1122334455667788ull);
+}
+
+TEST(StoreQueue, ForwardSubsetWithShift)
+{
+    StoreQueue sq(24);
+    sq.allocate(1, 10);
+    sq.execute(1, 0x1000, 8, 0x1122334455667788ull);
+    const auto r = sq.search(0x1002, 2, 20);
+    EXPECT_EQ(r.outcome, SqSearchOutcome::Forward);
+    EXPECT_EQ(r.raw, 0x5566ull);
+}
+
+TEST(StoreQueue, YoungestMatchWins)
+{
+    StoreQueue sq(24);
+    sq.allocate(1, 10);
+    sq.execute(1, 0x1000, 8, 0xaaaaaaaaaaaaaaaaull);
+    sq.allocate(2, 12);
+    sq.execute(2, 0x1000, 8, 0xbbbbbbbbbbbbbbbbull);
+    const auto r = sq.search(0x1000, 8, 20);
+    EXPECT_EQ(r.outcome, SqSearchOutcome::Forward);
+    EXPECT_EQ(r.ssn, 2u);
+    EXPECT_EQ(r.raw, 0xbbbbbbbbbbbbbbbbull);
+}
+
+TEST(StoreQueue, PartialOverlapStalls)
+{
+    StoreQueue sq(24);
+    sq.allocate(1, 10);
+    sq.execute(1, 0x1000, 2, 0x1234); // narrow store
+    const auto r = sq.search(0x1000, 8, 20); // wide load
+    EXPECT_EQ(r.outcome, SqSearchOutcome::Stall);
+    EXPECT_EQ(r.ssn, 1u);
+}
+
+TEST(StoreQueue, UnexecutedOverlapStalls)
+{
+    StoreQueue sq(24);
+    sq.allocate(1, 10);
+    sq.allocate(2, 12);
+    sq.execute(2, 0x1000, 8, 7); // younger store has address...
+    // ...but SSN 1 does not: loads can't see it; search reports what
+    // it knows (the executed store forwards).
+    const auto r = sq.search(0x1000, 8, 20);
+    EXPECT_EQ(r.outcome, SqSearchOutcome::Forward);
+    EXPECT_TRUE(sq.hasUnknownOlderAddr(20));
+}
+
+TEST(StoreQueue, OnlyOlderStoresConsidered)
+{
+    StoreQueue sq(24);
+    sq.allocate(1, 30); // younger than the searching load
+    sq.execute(1, 0x1000, 8, 1);
+    const auto r = sq.search(0x1000, 8, 20);
+    EXPECT_EQ(r.outcome, SqSearchOutcome::NoMatch);
+}
+
+TEST(StoreQueue, NoFalseOverlap)
+{
+    StoreQueue sq(24);
+    sq.allocate(1, 10);
+    sq.execute(1, 0x1000, 4, 5);
+    const auto r = sq.search(0x1004, 4, 20); // adjacent, disjoint
+    EXPECT_EQ(r.outcome, SqSearchOutcome::NoMatch);
+}
+
+TEST(StoreQueue, CommitDrainsInOrder)
+{
+    StoreQueue sq(4);
+    sq.allocate(1, 10);
+    sq.allocate(2, 12);
+    sq.commitOldest(1);
+    EXPECT_EQ(sq.size(), 1u);
+    sq.commitOldest(2);
+    EXPECT_TRUE(sq.empty());
+}
+
+TEST(StoreQueue, SquashRemovesYoungest)
+{
+    StoreQueue sq(8);
+    sq.allocate(1, 10);
+    sq.allocate(2, 12);
+    sq.allocate(3, 14);
+    sq.squashAfter(12);
+    EXPECT_EQ(sq.size(), 2u);
+    sq.allocate(3, 16); // SSN reuse after rewind
+    EXPECT_EQ(sq.size(), 3u);
+}
+
+TEST(StoreQueue, CapacityTracking)
+{
+    StoreQueue sq(2);
+    EXPECT_FALSE(sq.full());
+    sq.allocate(1, 10);
+    sq.allocate(2, 12);
+    EXPECT_TRUE(sq.full());
+}
+
+TEST(LoadQueue, ExecuteAndCommitRoundTrip)
+{
+    LoadQueue lq(4);
+    lq.allocate(10);
+    lq.allocate(12);
+    lq.execute(10, 0x1000, 8, 42, 5);
+    const auto e = lq.commitOldest();
+    EXPECT_EQ(e.seq, 10u);
+    EXPECT_EQ(e.addr, 0x1000u);
+    EXPECT_EQ(e.data, 42u);
+    EXPECT_EQ(e.ssnNvul, 5u);
+    EXPECT_TRUE(e.executed);
+}
+
+TEST(LoadQueue, SquashAfterBoundary)
+{
+    LoadQueue lq(4);
+    lq.allocate(10);
+    lq.allocate(12);
+    lq.allocate(14);
+    lq.squashAfter(10);
+    EXPECT_EQ(lq.size(), 1u);
+}
+
+TEST(StoreSets, NoDependenceWhenUntrained)
+{
+    StoreSets ss({});
+    EXPECT_FALSE(ss.loadDependence(0x40).has_value());
+}
+
+TEST(StoreSets, TrainedLoadWaitsForStore)
+{
+    StoreSets ss({});
+    ss.trainViolation(0x40, 0x80);
+    ss.storeRenamed(0x80, 7);
+    const auto dep = ss.loadDependence(0x40);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(*dep, 7u);
+}
+
+TEST(StoreSets, ExecutedStoreReleasesLoads)
+{
+    StoreSets ss({});
+    ss.trainViolation(0x40, 0x80);
+    ss.storeRenamed(0x80, 7);
+    ss.storeExecuted(0x80, 7);
+    EXPECT_FALSE(ss.loadDependence(0x40).has_value());
+}
+
+TEST(StoreSets, NewerInstanceSupersedes)
+{
+    StoreSets ss({});
+    ss.trainViolation(0x40, 0x80);
+    ss.storeRenamed(0x80, 7);
+    ss.storeExecuted(0x80, 7);
+    ss.storeRenamed(0x80, 9); // next dynamic instance
+    const auto dep = ss.loadDependence(0x40);
+    ASSERT_TRUE(dep.has_value());
+    EXPECT_EQ(*dep, 9u);
+}
+
+TEST(StoreSets, SquashRepairInvalidates)
+{
+    StoreSets ss({});
+    ss.trainViolation(0x40, 0x80);
+    ss.storeRenamed(0x80, 7);
+    ss.squashRepair(5); // SSN 7 was squashed
+    EXPECT_FALSE(ss.loadDependence(0x40).has_value());
+}
+
+TEST(StoreSets, MergeSharesOneSet)
+{
+    StoreSets ss({});
+    ss.trainViolation(0x40, 0x80);
+    ss.trainViolation(0x44, 0x80); // second load joins the set
+    ss.storeRenamed(0x80, 3);
+    EXPECT_TRUE(ss.loadDependence(0x40).has_value());
+    EXPECT_TRUE(ss.loadDependence(0x44).has_value());
+}
+
+} // anonymous namespace
+} // namespace nosq

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the cache/TLB/hierarchy models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsys/cache.hh"
+
+namespace nosq {
+namespace {
+
+TEST(Cache, HitAfterFill)
+{
+    Cache c({"t", 1024, 2, 64, 3});
+    EXPECT_FALSE(c.access(0x1000, false)); // cold miss
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1038, false)); // same 64B line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2 sets, 2 ways, 64B lines: lines 0x0000/0x0080/0x0100 map to
+    // set 0.
+    Cache c({"t", 256, 2, 64, 3});
+    c.access(0x0000, false);
+    c.access(0x0100, false);
+    c.access(0x0000, false);  // touch to make 0x0100 the LRU
+    c.access(0x0200, false);  // evicts 0x0100
+    EXPECT_TRUE(c.probe(0x0000));
+    EXPECT_FALSE(c.probe(0x0100));
+    EXPECT_TRUE(c.probe(0x0200));
+}
+
+TEST(Cache, DirtyWritebackCounted)
+{
+    Cache c({"t", 128, 1, 64, 3}); // 2 sets, direct mapped
+    c.access(0x0000, true);        // dirty
+    c.access(0x0080, false);       // evicts dirty line
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, DistinctSetsDoNotConflict)
+{
+    Cache c({"t", 256, 2, 64, 3});
+    c.access(0x0000, false);
+    c.access(0x0040, false); // set 1
+    EXPECT_TRUE(c.probe(0x0000));
+    EXPECT_TRUE(c.probe(0x0040));
+}
+
+TEST(Cache, ClearInvalidatesAll)
+{
+    Cache c({"t", 1024, 2, 64, 3});
+    c.access(0x1000, false);
+    c.clear();
+    EXPECT_FALSE(c.probe(0x1000));
+}
+
+TEST(Tlb, HitAndMissLatency)
+{
+    Tlb tlb({16, 4, 12, 30});
+    EXPECT_EQ(tlb.access(0x1000), 30u); // cold
+    EXPECT_EQ(tlb.access(0x1fff), 0u);  // same page
+    EXPECT_EQ(tlb.access(0x2000), 30u); // next page
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Hierarchy, L1HitLatency)
+{
+    MemSysParams p;
+    MemHierarchy mem(p);
+    mem.dataRead(0x1000);              // cold: fills TLB + caches
+    const Cycle lat = mem.dataRead(0x1008);
+    EXPECT_EQ(lat, p.l1d.hitLatency);  // pure L1 hit
+}
+
+TEST(Hierarchy, MissLatenciesCompose)
+{
+    MemSysParams p;
+    MemHierarchy mem(p);
+    const Cycle cold = mem.dataRead(0x10000);
+    // TLB miss + L1 miss + L2 miss + memory + bus.
+    EXPECT_EQ(cold, p.dtlb.missLatency + p.l1d.hitLatency +
+              p.l2.hitLatency + p.memoryLatency + p.busTransfer);
+    // Second touch on the same line: everything hits.
+    EXPECT_EQ(mem.dataRead(0x10000), p.l1d.hitLatency);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    MemSysParams p;
+    p.l1d = {"l1d", 128, 1, 64, 3}; // tiny L1: 2 sets direct-mapped
+    MemHierarchy mem(p);
+    mem.dataRead(0x0000);
+    mem.dataRead(0x0080); // evicts 0x0000 from L1 (same set)
+    const Cycle lat = mem.dataRead(0x0000);
+    EXPECT_EQ(lat, p.l1d.hitLatency + p.l2.hitLatency); // L2 hit
+}
+
+TEST(Hierarchy, CountsReadsAndWrites)
+{
+    MemHierarchy mem(MemSysParams{});
+    mem.dataRead(0x1000);
+    mem.dataRead(0x2000);
+    mem.dataWrite(0x3000);
+    EXPECT_EQ(mem.dataReads(), 2u);
+    EXPECT_EQ(mem.dataWrites(), 1u);
+}
+
+} // anonymous namespace
+} // namespace nosq

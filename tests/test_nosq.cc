@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Unit and property tests for the NoSQ mechanisms: T-SSBF/SVW filter
+ * semantics, partial-word bypassing transforms, the bypassing
+ * predictor (including path sensitivity, hybrid priority, confidence
+ * and delay), SRQ, path history, and SSN conventions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nosq/bypass_predictor.hh"
+#include "nosq/partial.hh"
+#include "nosq/path_history.hh"
+#include "nosq/srq.hh"
+#include "nosq/ssn.hh"
+#include "nosq/tssbf.hh"
+
+namespace nosq {
+namespace {
+
+// ---------------------------------------------------------------------
+// SSN
+// ---------------------------------------------------------------------
+
+TEST(Ssn, InflightPopulation)
+{
+    SsnState s;
+    s.rename = 10;
+    s.commit = 6;
+    EXPECT_EQ(s.inflight(), 4u);
+}
+
+TEST(Ssn, WrapDetection)
+{
+    SsnState s;
+    s.rename = ssn_wrap_period - 2;
+    EXPECT_FALSE(s.nextWraps());
+    s.rename = ssn_wrap_period - 1;
+    EXPECT_TRUE(s.nextWraps());
+    // Configurable period for failure-injection tests.
+    s.rename = 15;
+    EXPECT_TRUE(s.nextWraps(16));
+}
+
+// ---------------------------------------------------------------------
+// Path history
+// ---------------------------------------------------------------------
+
+TEST(PathHistory, BranchBitsShiftIn)
+{
+    PathHistory ph;
+    ph.condBranch(true);
+    ph.condBranch(false);
+    ph.condBranch(true);
+    EXPECT_EQ(ph.hash(3), 0b101u);
+}
+
+TEST(PathHistory, CallContributesTwoBits)
+{
+    PathHistory ph;
+    ph.call(0x40); // (0x40 >> 2) & 3 == 0
+    ph.condBranch(true);
+    EXPECT_EQ(ph.hash(3), 0b001u);
+    ph.call(0x4c); // (0x4c >> 2) & 3 == 3
+    EXPECT_EQ(ph.hash(4), 0b0111u);
+}
+
+TEST(PathHistory, CheckpointRestore)
+{
+    PathHistory ph;
+    ph.condBranch(true);
+    const auto cp = ph.raw();
+    ph.condBranch(false);
+    ph.call(0x100);
+    ph.restore(cp);
+    EXPECT_EQ(ph.hash(8), 1u);
+}
+
+TEST(PathHistory, DifferentPathsDifferentHashes)
+{
+    PathHistory a, b;
+    a.condBranch(true);
+    b.condBranch(false);
+    EXPECT_NE(a.hash(8), b.hash(8));
+}
+
+// ---------------------------------------------------------------------
+// SRQ
+// ---------------------------------------------------------------------
+
+TEST(Srq, WriteReadBySsn)
+{
+    StoreRegisterQueue srq(64);
+    srq.write(5, {PhysReg(17), 2, false});
+    srq.write(6, {PhysReg(23), 0, true});
+    EXPECT_EQ(srq.read(5).dtag, 17);
+    EXPECT_EQ(srq.read(6).dtag, 23);
+    EXPECT_TRUE(srq.read(6).fpCvt);
+}
+
+TEST(Srq, SsnIndexingWraps)
+{
+    StoreRegisterQueue srq(64);
+    srq.write(3, {PhysReg(9), 3, false});
+    srq.write(3 + 64, {PhysReg(11), 3, false}); // same slot
+    EXPECT_EQ(srq.read(3 + 64).dtag, 11);
+}
+
+// ---------------------------------------------------------------------
+// T-SSBF
+// ---------------------------------------------------------------------
+
+TEST(Tssbf, InequalityDetectsYoungerStore)
+{
+    Tssbf f({});
+    f.storeUpdate(0x1000, 8, 10);
+    EXPECT_TRUE(f.needsReexecInequality(0x1000, 8, 5));
+    EXPECT_FALSE(f.needsReexecInequality(0x1000, 8, 10));
+    EXPECT_FALSE(f.needsReexecInequality(0x1000, 8, 15));
+}
+
+TEST(Tssbf, InequalityMissMeansNoReexec)
+{
+    Tssbf f({});
+    EXPECT_FALSE(f.needsReexecInequality(0x2000, 8, 0));
+}
+
+TEST(Tssbf, EqualityRequiresExactSsn)
+{
+    Tssbf f({});
+    f.storeUpdate(0x1000, 8, 10);
+    EXPECT_FALSE(f.needsReexecEquality(0x1000, 8, 10));
+    EXPECT_TRUE(f.needsReexecEquality(0x1000, 8, 9));
+    EXPECT_TRUE(f.needsReexecEquality(0x1008, 8, 10)); // miss
+}
+
+TEST(Tssbf, SameGranuleSubwordShares)
+{
+    Tssbf f({});
+    f.storeUpdate(0x1004, 2, 7); // bytes 4-5 of granule 0x200
+    const auto *e = f.lookup(0x1000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->ssn, 7u);
+    EXPECT_EQ(e->offset, 4u);
+    EXPECT_EQ(e->sizeLog, 1u);
+}
+
+TEST(Tssbf, EvictionFloorKeepsInequalitySafe)
+{
+    // 1 set x 2 ways: third distinct granule evicts the first.
+    Tssbf f({2, 2});
+    f.storeUpdate(0x1000, 8, 10);
+    f.storeUpdate(0x2000, 8, 11);
+    f.storeUpdate(0x3000, 8, 12); // evicts SSN 10
+    EXPECT_GE(f.evictions(), 1u);
+    // A load on the evicted granule must stay conservative: SSN 10
+    // may be younger than its ssn_nvul.
+    EXPECT_TRUE(f.needsReexecInequality(0x1000, 8, 5));
+    // But a load not vulnerable to anything <= the floor is safe.
+    EXPECT_FALSE(f.needsReexecInequality(0x1000, 8, 12));
+}
+
+TEST(Tssbf, EqualityAfterEvictionReexecutes)
+{
+    Tssbf f({2, 2});
+    f.storeUpdate(0x1000, 8, 10);
+    f.storeUpdate(0x2000, 8, 11);
+    f.storeUpdate(0x3000, 8, 12);
+    EXPECT_TRUE(f.needsReexecEquality(0x1000, 8, 10));
+}
+
+TEST(Tssbf, ShiftVerification)
+{
+    Tssbf f({});
+    f.storeUpdate(0x1000, 8, 20); // offset 0
+    EXPECT_TRUE(f.shiftMatches(0x1002, 2));  // load at +2
+    EXPECT_FALSE(f.shiftMatches(0x1002, 0));
+    f.storeUpdate(0x1014, 2, 21); // offset 4 in its granule
+    EXPECT_TRUE(f.shiftMatches(0x1014, 0));
+}
+
+TEST(Tssbf, GranuleCrossingLoadReexecutes)
+{
+    Tssbf f({});
+    f.storeUpdate(0x1000, 8, 5);
+    f.storeUpdate(0x1008, 8, 6);
+    EXPECT_TRUE(f.needsReexecEquality(0x1006, 4, 6));
+}
+
+TEST(Tssbf, ClearDropsState)
+{
+    Tssbf f({});
+    f.storeUpdate(0x1000, 8, 10);
+    f.clear();
+    EXPECT_EQ(f.lookup(0x1000), nullptr);
+    EXPECT_FALSE(f.needsReexecInequality(0x1000, 8, 0));
+}
+
+TEST(Tssbf, StoreUpdateReplacesSameGranule)
+{
+    Tssbf f({});
+    f.storeUpdate(0x1000, 8, 10);
+    f.storeUpdate(0x1000, 8, 11);
+    EXPECT_EQ(f.lookup(0x1000)->ssn, 11u);
+    EXPECT_FALSE(f.needsReexecEquality(0x1000, 8, 11));
+}
+
+// ---------------------------------------------------------------------
+// Partial-word bypassing
+// ---------------------------------------------------------------------
+
+TEST(Partial, FullWordNeedsNoUop)
+{
+    BypassPair pair;
+    pair.storeData = 0x1234;
+    EXPECT_FALSE(needsShiftMask(pair));
+    EXPECT_EQ(bypassValue(pair), 0x1234u);
+}
+
+TEST(Partial, NarrowLoadFromWideStoreShifts)
+{
+    BypassPair pair;
+    pair.storeData = 0x1122334455667788ull;
+    pair.storeSizeLog = 3;
+    pair.loadSize = 2;
+    pair.loadExtend = ExtendKind::Zero;
+    pair.shiftBytes = 2;
+    EXPECT_TRUE(needsShiftMask(pair));
+    EXPECT_EQ(bypassValue(pair), 0x5566u);
+}
+
+TEST(Partial, SignExtension)
+{
+    BypassPair pair;
+    pair.storeData = 0x00000000000080ffull;
+    pair.storeSizeLog = 1; // 2-byte store
+    pair.loadSize = 2;
+    pair.loadExtend = ExtendKind::Sign;
+    pair.shiftBytes = 0;
+    EXPECT_EQ(bypassValue(pair), 0xffffffffffff80ffull);
+}
+
+TEST(Partial, StoreMaskTruncatesHighBytes)
+{
+    // A 1-byte store of a wide register only passes its low byte.
+    BypassPair pair;
+    pair.storeData = 0xdeadbeefcafef00dull;
+    pair.storeSizeLog = 0;
+    pair.loadSize = 1;
+    pair.loadExtend = ExtendKind::Zero;
+    EXPECT_EQ(bypassValue(pair), 0x0dull);
+}
+
+TEST(Partial, FpConvertPair)
+{
+    // sts stores 1.5 as float32; lds re-expands to float64 bits.
+    BypassPair pair;
+    pair.storeData = 0x3ff8000000000000ull; // 1.5 double
+    pair.storeSizeLog = 2;
+    pair.storeFpCvt = true;
+    pair.loadSize = 4;
+    pair.loadExtend = ExtendKind::FpCvt;
+    EXPECT_TRUE(needsShiftMask(pair));
+    EXPECT_EQ(bypassValue(pair), 0x3ff8000000000000ull);
+}
+
+TEST(Partial, BypassabilityIsSubrange)
+{
+    EXPECT_TRUE(bypassable(8, 0x1000, 2, 0x1002));
+    EXPECT_TRUE(bypassable(4, 0x1000, 4, 0x1000));
+    EXPECT_FALSE(bypassable(2, 0x1000, 4, 0x1000)); // narrow->wide
+    EXPECT_FALSE(bypassable(8, 0x1000, 4, 0x1006)); // spills out
+    EXPECT_FALSE(bypassable(8, 0x1008, 8, 0x1000)); // disjoint
+}
+
+/**
+ * Property sweep: for every (store size, load size, shift, extend)
+ * combination that is bypassable, the shift & mask transform must
+ * reproduce exactly what a memory round-trip would produce.
+ */
+using PartialCase = std::tuple<unsigned, unsigned, unsigned, int>;
+
+class PartialSweep : public ::testing::TestWithParam<PartialCase>
+{
+};
+
+TEST_P(PartialSweep, MatchesMemoryRoundTrip)
+{
+    const auto [store_size, load_size, shift, ext_int] = GetParam();
+    if (shift + load_size > store_size)
+        GTEST_SKIP() << "not bypassable";
+    const auto ext = static_cast<ExtendKind>(ext_int);
+    if (ext == ExtendKind::FpCvt && load_size != 4)
+        GTEST_SKIP() << "lds is always 4 bytes";
+
+    const std::uint64_t data = 0x8899aabbccddeeffull;
+
+    // Memory round-trip oracle.
+    std::uint64_t mem_bytes = data;
+    if (store_size < 8)
+        mem_bytes &= (1ull << (store_size * 8)) - 1;
+    const std::uint64_t loaded =
+        (mem_bytes >> (shift * 8)) &
+        (load_size == 8 ? ~0ull : ((1ull << (load_size * 8)) - 1));
+    const std::uint64_t expect = extendValue(loaded, load_size, ext);
+
+    BypassPair pair;
+    pair.storeData = data;
+    pair.storeSizeLog = store_size == 1 ? 0 : store_size == 2 ? 1
+        : store_size == 4 ? 2 : 3;
+    pair.loadSize = load_size;
+    pair.loadExtend = ext;
+    pair.shiftBytes = shift;
+    EXPECT_EQ(bypassValue(pair), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, PartialSweep,
+    ::testing::Combine(
+        ::testing::Values(1u, 2u, 4u, 8u),          // store size
+        ::testing::Values(1u, 2u, 4u, 8u),          // load size
+        ::testing::Values(0u, 1u, 2u, 4u, 6u),      // shift bytes
+        ::testing::Values(int(ExtendKind::Zero),
+                          int(ExtendKind::Sign))));
+
+// ---------------------------------------------------------------------
+// Bypassing predictor
+// ---------------------------------------------------------------------
+
+BypassPredictorParams
+smallPredictor()
+{
+    BypassPredictorParams p;
+    p.entriesPerTable = 64;
+    p.assoc = 4;
+    p.historyBits = 8;
+    return p;
+}
+
+TEST(BypassPredictor, MissPredictsNonBypassing)
+{
+    BypassPredictor bp(smallPredictor());
+    const auto pred = bp.lookup(0x40, 0);
+    EXPECT_FALSE(pred.hit);
+    EXPECT_FALSE(pred.bypass);
+}
+
+TEST(BypassPredictor, LearnsDistanceAfterMispredict)
+{
+    BypassPredictor bp(smallPredictor());
+    BypassTrainInfo info;
+    info.shouldBypass = true;
+    info.distKnown = true;
+    info.actualDist = 3;
+    info.shift = 2;
+    info.storeSizeLog = 3;
+    info.mispredicted = true;
+    bp.train(0x40, 0, info);
+    const auto pred = bp.lookup(0x40, 0);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_TRUE(pred.bypass);
+    EXPECT_EQ(pred.dist, 3u);
+    EXPECT_EQ(pred.shift, 2u);
+}
+
+TEST(BypassPredictor, PathSensitiveEntriesWin)
+{
+    BypassPredictor bp(smallPredictor());
+    BypassTrainInfo a;
+    a.shouldBypass = true;
+    a.distKnown = true;
+    a.actualDist = 1;
+    a.mispredicted = true;
+    bp.train(0x40, /*path*/ 0x5, a);
+
+    BypassTrainInfo b = a;
+    b.actualDist = 7;
+    bp.train(0x40, /*path*/ 0xa, b);
+
+    const auto pa = bp.lookup(0x40, 0x5);
+    const auto pb = bp.lookup(0x40, 0xa);
+    EXPECT_TRUE(pa.pathSensitive);
+    EXPECT_TRUE(pb.pathSensitive);
+    EXPECT_EQ(pa.dist, 1u);
+    EXPECT_EQ(pb.dist, 7u);
+}
+
+TEST(BypassPredictor, InsensitiveTableBacksUpUnseenPaths)
+{
+    BypassPredictor bp(smallPredictor());
+    BypassTrainInfo info;
+    info.shouldBypass = true;
+    info.distKnown = true;
+    info.actualDist = 4;
+    info.mispredicted = true;
+    bp.train(0x40, 0x3, info);
+    // A path never trained: the path-insensitive entry answers.
+    const auto pred = bp.lookup(0x40, 0x9);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_FALSE(pred.pathSensitive);
+    EXPECT_EQ(pred.dist, 4u);
+}
+
+TEST(BypassPredictor, NonBypassingTraining)
+{
+    BypassPredictor bp(smallPredictor());
+    BypassTrainInfo info;
+    info.shouldBypass = false;
+    info.distKnown = false;
+    info.mispredicted = true;
+    bp.train(0x80, 0, info);
+    const auto pred = bp.lookup(0x80, 0);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_FALSE(pred.bypass);
+}
+
+TEST(BypassPredictor, RepeatedMispredictsDrainConfidence)
+{
+    BypassPredictor bp(smallPredictor());
+    BypassTrainInfo info;
+    info.shouldBypass = false; // multi-writer style: not bypassable
+    info.distKnown = true;
+    info.actualDist = 2;
+    info.mispredicted = true;
+    for (int i = 0; i < 10; ++i)
+        bp.train(0xc0, 0x1, info);
+    const auto pred = bp.lookup(0xc0, 0x1);
+    EXPECT_TRUE(pred.bypass);      // distance known for delay
+    EXPECT_FALSE(pred.confident);  // ...but delay, don't bypass
+}
+
+TEST(BypassPredictor, CorrectPredictionsRebuildConfidence)
+{
+    BypassPredictorParams params = smallPredictor();
+    params.confDec = 12;
+    params.confInc = 4;
+    BypassPredictor bp(params);
+    BypassTrainInfo wrong;
+    wrong.shouldBypass = false;
+    wrong.distKnown = true;
+    wrong.actualDist = 2;
+    wrong.mispredicted = true;
+    for (int i = 0; i < 8; ++i)
+        bp.train(0xc0, 0x1, wrong);
+    EXPECT_FALSE(bp.lookup(0xc0, 0x1).confident);
+
+    BypassTrainInfo right;
+    right.mispredicted = false;
+    for (int i = 0; i < 40; ++i)
+        bp.train(0xc0, 0x1, right);
+    EXPECT_TRUE(bp.lookup(0xc0, 0x1).confident);
+}
+
+TEST(BypassPredictor, DistanceBeyondMaxBecomesNonBypass)
+{
+    BypassPredictor bp(smallPredictor());
+    BypassTrainInfo info;
+    info.shouldBypass = true;
+    info.distKnown = true;
+    info.actualDist = 100; // > 63: not representable
+    info.mispredicted = true;
+    bp.train(0x40, 0, info);
+    EXPECT_FALSE(bp.lookup(0x40, 0).bypass);
+}
+
+TEST(BypassPredictor, UnboundedModeKeepsAllEntries)
+{
+    BypassPredictorParams params = smallPredictor();
+    params.unbounded = true;
+    BypassPredictor bp(params);
+    BypassTrainInfo info;
+    info.shouldBypass = true;
+    info.distKnown = true;
+    info.mispredicted = true;
+    for (Addr pc = 0; pc < 4096; pc += 4) {
+        info.actualDist = unsigned(pc >> 6) & 63;
+        bp.train(pc, 0, info);
+    }
+    // Every one of the 1024 loads still predicts correctly.
+    for (Addr pc = 0; pc < 4096; pc += 4) {
+        const auto pred = bp.lookup(pc, 0);
+        EXPECT_TRUE(pred.hit);
+        EXPECT_EQ(pred.dist, unsigned(pc >> 6) & 63);
+    }
+}
+
+TEST(BypassPredictor, CapacityPressureEvicts)
+{
+    BypassPredictorParams params = smallPredictor();
+    params.entriesPerTable = 16; // 4 sets x 4 ways
+    BypassPredictor bp(params);
+    BypassTrainInfo info;
+    info.shouldBypass = true;
+    info.distKnown = true;
+    info.actualDist = 5;
+    info.mispredicted = true;
+    for (Addr pc = 0; pc < 4096; pc += 4)
+        bp.train(pc, 0, info);
+    unsigned hits = 0;
+    for (Addr pc = 0; pc < 4096; pc += 4)
+        hits += bp.lookup(pc, 0).hit;
+    EXPECT_LE(hits, 2u * params.entriesPerTable);
+}
+
+TEST(BypassPredictor, StorageBudgetMatchesPaper)
+{
+    BypassPredictorParams params; // paper defaults: 2 x 1K x 5B
+    BypassPredictor bp(params);
+    EXPECT_EQ(bp.storageBytes(), 10u * 1024u);
+}
+
+} // anonymous namespace
+} // namespace nosq

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the store-PC based bypassing predictor (the Section 3.1
+ * comparison point), including the structural failure on
+ * non-most-recent-instance communication.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nosq/storepc_predictor.hh"
+
+namespace nosq {
+namespace {
+
+StorePcPredictorParams
+smallParams()
+{
+    StorePcPredictorParams p;
+    p.ssitEntries = 64;
+    p.ssitAssoc = 4;
+    p.lfstEntries = 64;
+    return p;
+}
+
+TEST(StorePcPredictor, MissPredictsNonBypassing)
+{
+    StorePcBypassPredictor bp(smallParams());
+    const auto pred = bp.lookup(0x40, 0);
+    EXPECT_FALSE(pred.hit);
+    EXPECT_FALSE(pred.bypass);
+}
+
+TEST(StorePcPredictor, LearnsStablePair)
+{
+    StorePcBypassPredictor bp(smallParams());
+    bp.train(0x40, /*writer*/ 0x80, /*mispredicted*/ true);
+    bp.storeRenamed(0x80, 7);
+    const auto pred = bp.lookup(0x40, /*commit*/ 3);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_TRUE(pred.bypass);
+    EXPECT_EQ(pred.ssnByp, 7u);
+}
+
+TEST(StorePcPredictor, CommittedInstanceMeansNoBypass)
+{
+    StorePcBypassPredictor bp(smallParams());
+    bp.train(0x40, 0x80, true);
+    bp.storeRenamed(0x80, 7);
+    const auto pred = bp.lookup(0x40, /*commit*/ 7);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_FALSE(pred.bypass);
+}
+
+TEST(StorePcPredictor, OnlyMostRecentInstanceNameable)
+{
+    // The X[i] = A*X[i-2] failure: the load needs the instance TWO
+    // back, but the LFST can only name the newest.
+    StorePcBypassPredictor bp(smallParams());
+    bp.train(0x40, 0x80, true);
+    bp.storeRenamed(0x80, 10); // instance the load actually needs
+    bp.storeRenamed(0x80, 11); // newer instance overwrites the LFST
+    const auto pred = bp.lookup(0x40, 5);
+    ASSERT_TRUE(pred.bypass);
+    EXPECT_EQ(pred.ssnByp, 11u); // wrong instance: 10 was needed
+}
+
+TEST(StorePcPredictor, TrainingWithoutWriterStopsPredicting)
+{
+    StorePcBypassPredictor bp(smallParams());
+    bp.train(0x40, 0x80, true);
+    bp.storeRenamed(0x80, 3);
+    EXPECT_TRUE(bp.lookup(0x40, 0).bypass);
+    bp.train(0x40, /*writer*/ 0, /*mispredicted*/ true);
+    EXPECT_FALSE(bp.lookup(0x40, 0).hit);
+}
+
+TEST(StorePcPredictor, SquashRepairForgetsYoungInstances)
+{
+    StorePcBypassPredictor bp(smallParams());
+    bp.train(0x40, 0x80, true);
+    bp.storeRenamed(0x80, 9);
+    bp.squashRepair(5); // SSN 9 squashed
+    EXPECT_FALSE(bp.lookup(0x40, 0).bypass);
+}
+
+TEST(StorePcPredictor, ConfidenceDrainsOnRepeatedMispredicts)
+{
+    StorePcBypassPredictor bp(smallParams());
+    for (int i = 0; i < 8; ++i)
+        bp.train(0x40, 0x80, true);
+    bp.storeRenamed(0x80, 3);
+    const auto pred = bp.lookup(0x40, 0);
+    EXPECT_TRUE(pred.hit);
+    EXPECT_FALSE(pred.confident);
+}
+
+TEST(StorePcPredictor, ClearSsnsDropsInstances)
+{
+    StorePcBypassPredictor bp(smallParams());
+    bp.train(0x40, 0x80, true);
+    bp.storeRenamed(0x80, 3);
+    bp.clearSsns();
+    EXPECT_FALSE(bp.lookup(0x40, 0).bypass);
+}
+
+} // anonymous namespace
+} // namespace nosq

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for kernels, profiles, and the benchmark synthesizer,
+ * including a parameterized property sweep over all 47 profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/functional.hh"
+#include "workload/generator.hh"
+#include "workload/kernels.hh"
+#include "workload/profiles.hh"
+
+namespace nosq {
+namespace {
+
+/** Measured communication behaviour of a trace prefix. */
+struct CommStats
+{
+    std::uint64_t insts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t commLoads = 0;
+    std::uint64_t partialCommLoads = 0;
+
+    double commPct() const
+    {
+        return loads ? 100.0 * commLoads / loads : 0.0;
+    }
+    double partialPct() const
+    {
+        return loads ? 100.0 * partialCommLoads / loads : 0.0;
+    }
+};
+
+/**
+ * Measure in-window communication the way the paper's Table 5 does:
+ * a 128-instruction window with no limit on the number of stores.
+ */
+CommStats
+measure(const Program &prog, std::uint64_t max_insts)
+{
+    constexpr std::uint64_t window = 128;
+    FunctionalSim sim(prog);
+    CommStats cs;
+    // Track sizes of recent stores by dynamic seq for partial checks.
+    std::map<std::uint64_t, unsigned> store_sizes;
+    DynInst di;
+    while (cs.insts < max_insts && sim.step(di)) {
+        ++cs.insts;
+        if (di.isStore()) {
+            ++cs.stores;
+            store_sizes[di.seq] = di.size;
+            if (store_sizes.size() > 4 * window)
+                store_sizes.erase(store_sizes.begin());
+        } else if (di.isLoad()) {
+            ++cs.loads;
+            const std::uint64_t wseq = di.youngestWriterSeq();
+            if (wseq != 0 && di.seq - wseq < window) {
+                ++cs.commLoads;
+                bool partial = di.size < 8;
+                for (unsigned i = 0; i < di.size && !partial; ++i) {
+                    const auto it =
+                        store_sizes.find(di.byteWriterSeq[i]);
+                    if (it != store_sizes.end() && it->second < 8)
+                        partial = true;
+                }
+                if (partial)
+                    ++cs.partialCommLoads;
+            }
+        }
+    }
+    return cs;
+}
+
+/** Build a single-kernel program for kernel-level checks. */
+Program
+singleKernelProgram(KernelKind kind, const KernelParams &params,
+                    unsigned calls = 4)
+{
+    WorkloadBuilder wb(123);
+    const auto id = wb.addKernel(kind, params);
+    std::vector<std::size_t> schedule(calls, id);
+    return wb.build(schedule);
+}
+
+TEST(Kernels, StackSpillCommunicatesFullWord)
+{
+    Program p = singleKernelProgram(KernelKind::StackSpill, {});
+    const CommStats cs = measure(p, 20000);
+    ASSERT_GT(cs.loads, 0u);
+    EXPECT_NEAR(cs.commPct(), 100.0, 1.0);
+    EXPECT_EQ(cs.partialCommLoads, 0u);
+}
+
+TEST(Kernels, StructCopyIsMostlyPartial)
+{
+    Program p = singleKernelProgram(KernelKind::StructCopy, {});
+    const CommStats cs = measure(p, 20000);
+    ASSERT_GT(cs.loads, 0u);
+    EXPECT_NEAR(cs.commPct(), 100.0, 1.0);
+    // 4 of 5 loads per call are partial-word.
+    EXPECT_NEAR(cs.partialPct(), 80.0, 5.0);
+}
+
+TEST(Kernels, MemcpyByteIsMultiWriter)
+{
+    Program p = singleKernelProgram(KernelKind::MemcpyByte, {});
+    FunctionalSim sim(p);
+    DynInst di;
+    unsigned multi = 0, loads = 0;
+    for (int i = 0; i < 5000 && sim.step(di); ++i) {
+        if (di.isLoad() && di.youngestWriterSsn() != 0) {
+            ++loads;
+            if (!di.singleWriter())
+                ++multi;
+        }
+    }
+    ASSERT_GT(loads, 0u);
+    EXPECT_EQ(multi, loads); // every comm load merges two+ stores
+}
+
+TEST(Kernels, LoopCarriedDistanceIsStable)
+{
+    // X[i] = A * X[i-2]: with one store per iteration, the writer of
+    // X[i-2] is one completed store back at load time (distance
+    // convention: 0 = most recent older store).
+    KernelParams params;
+    params.iters = 6;
+    Program p = singleKernelProgram(KernelKind::LoopCarried, params);
+    FunctionalSim sim(p);
+    DynInst di;
+    unsigned dist1 = 0, comm = 0;
+    for (int i = 0; i < 30000 && sim.step(di); ++i) {
+        if (di.isLoad() && di.singleWriter()) {
+            ++comm;
+            const SSN dist =
+                sim.storeCount() - di.youngestWriterSsn();
+            if (dist == 1)
+                ++dist1;
+        }
+    }
+    ASSERT_GT(comm, 100u);
+    // Steady-state iterations (4+ of 6 per call) have one distance.
+    EXPECT_GT(double(dist1) / comm, 0.6);
+}
+
+TEST(Kernels, StreamNeverCommunicates)
+{
+    KernelParams params;
+    params.footprintLog2 = 14;
+    Program p = singleKernelProgram(KernelKind::Stream, params);
+    const CommStats cs = measure(p, 20000);
+    ASSERT_GT(cs.loads, 0u);
+    EXPECT_EQ(cs.commLoads, 0u);
+}
+
+TEST(Kernels, PointerChaseNeverCommunicatesAndChases)
+{
+    KernelParams params;
+    params.footprintLog2 = 14;
+    Program p = singleKernelProgram(KernelKind::PointerChase, params);
+    FunctionalSim sim(p);
+    DynInst di;
+    std::uint64_t loads = 0;
+    std::set<Addr> addrs;
+    for (int i = 0; i < 20000 && sim.step(di); ++i) {
+        if (di.isLoad()) {
+            ++loads;
+            addrs.insert(di.addr);
+            EXPECT_EQ(di.youngestWriterSsn(), 0u);
+        }
+    }
+    ASSERT_GT(loads, 500u);
+    // The permutation cycle visits many distinct slots.
+    EXPECT_GT(addrs.size(), 400u);
+}
+
+TEST(Kernels, FpConvertRoundTripsThroughMemory)
+{
+    Program p = singleKernelProgram(KernelKind::FpConvert, {});
+    FunctionalSim sim(p);
+    DynInst di;
+    unsigned partial = 0, loads = 0;
+    for (int i = 0; i < 5000 && sim.step(di); ++i) {
+        if (di.isLoad()) {
+            ++loads;
+            EXPECT_EQ(di.size, 4u);
+            EXPECT_TRUE(di.singleWriter());
+            ++partial;
+        }
+    }
+    EXPECT_GT(loads, 0u);
+    EXPECT_EQ(partial, loads);
+}
+
+TEST(Kernels, PathDepAlternatesDistance)
+{
+    Program p = singleKernelProgram(KernelKind::PathDep, {});
+    FunctionalSim sim(p);
+    DynInst di;
+    std::vector<SSN> dists;
+    for (int i = 0; i < 4000 && sim.step(di); ++i) {
+        if (di.isLoad() && di.singleWriter())
+            dists.push_back(sim.storeCount() -
+                            di.youngestWriterSsn());
+    }
+    ASSERT_GT(dists.size(), 10u);
+    // Odd path: writer is the most recent store (distance 0); even
+    // path: one younger store intervenes (distance 1).
+    unsigned zeros = 0, ones = 0;
+    for (const auto d : dists) {
+        zeros += d == 0;
+        ones += d == 1;
+    }
+    EXPECT_GT(zeros, 0u);
+    EXPECT_GT(ones, 0u);
+    EXPECT_EQ(zeros + ones, dists.size());
+}
+
+TEST(Kernels, CallsiteDistanceDependsOnSite)
+{
+    Program p = singleKernelProgram(KernelKind::Callsite, {});
+    FunctionalSim sim(p);
+    DynInst di;
+    std::map<SSN, unsigned> dist_counts;
+    for (int i = 0; i < 4000 && sim.step(di); ++i) {
+        if (di.isLoad() && di.singleWriter())
+            ++dist_counts[sim.storeCount() -
+                          di.youngestWriterSsn()];
+    }
+    // Same static load: distance 0 from site A (helper's store is
+    // the most recent), distance 1 from site B (one intervening
+    // store).
+    EXPECT_GT(dist_counts[0], 0u);
+    EXPECT_GT(dist_counts[1], 0u);
+}
+
+TEST(Generator, EveryProfileBuildsAndRuns)
+{
+    for (const auto &profile : allProfiles()) {
+        Program p = synthesize(profile, 1);
+        FunctionalSim sim(p);
+        DynInst di;
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_TRUE(sim.step(di)) << profile.name;
+    }
+}
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    const auto *profile = findProfile("gzip");
+    ASSERT_NE(profile, nullptr);
+    Program a = synthesize(*profile, 7);
+    Program b = synthesize(*profile, 7);
+    ASSERT_EQ(a.numInsts(), b.numInsts());
+    for (std::size_t i = 0; i < a.numInsts(); ++i) {
+        EXPECT_EQ(static_cast<int>(a.code[i].op),
+                  static_cast<int>(b.code[i].op));
+        EXPECT_EQ(a.code[i].imm, b.code[i].imm);
+    }
+}
+
+TEST(Profiles, TableCoversAllSuites)
+{
+    const auto &all = allProfiles();
+    EXPECT_EQ(all.size(), 47u);
+    unsigned media = 0, ints = 0, fps = 0;
+    for (const auto &p : all) {
+        media += p.suite == Suite::Media;
+        ints += p.suite == Suite::Int;
+        fps += p.suite == Suite::Fp;
+    }
+    EXPECT_EQ(media, 18u);
+    EXPECT_EQ(ints, 16u);
+    EXPECT_EQ(fps, 13u);
+}
+
+TEST(Profiles, SelectedSubsetMatchesFigure3)
+{
+    const auto sel = selectedProfiles();
+    EXPECT_EQ(sel.size(), 15u);
+    EXPECT_STREQ(sel.front()->name, "g721.e");
+    EXPECT_STREQ(sel.back()->name, "wupwise");
+}
+
+TEST(Profiles, FindByName)
+{
+    EXPECT_NE(findProfile("mcf"), nullptr);
+    EXPECT_EQ(findProfile("nonesuch"), nullptr);
+    EXPECT_EQ(findProfile("mcf")->suite, Suite::Int);
+}
+
+/**
+ * Property sweep: for every benchmark profile, the synthesized
+ * program's measured in-window communication rate must approximate
+ * the Table 5 target.
+ */
+class ProfileCommunication
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ProfileCommunication, MatchesTable5Targets)
+{
+    const auto *profile = findProfile(GetParam());
+    ASSERT_NE(profile, nullptr);
+    Program p = synthesize(*profile, 1);
+    const CommStats cs = measure(p, 400000);
+    ASSERT_GT(cs.loads, 100u);
+
+    const double tol_comm =
+        std::max(2.0, 0.45 * profile->pctComm);
+    EXPECT_NEAR(cs.commPct(), profile->pctComm, tol_comm)
+        << profile->name;
+    const double tol_part =
+        std::max(1.5, 0.5 * profile->pctPartial);
+    EXPECT_NEAR(cs.partialPct(), profile->pctPartial, tol_part)
+        << profile->name;
+}
+
+std::vector<const char *>
+profileNames()
+{
+    std::vector<const char *> names;
+    for (const auto &p : allProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ProfileCommunication,
+    ::testing::ValuesIn(profileNames()),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });
+
+} // anonymous namespace
+} // namespace nosq

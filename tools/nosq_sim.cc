@@ -1,0 +1,200 @@
+/**
+ * @file
+ * nosq_sim: command-line driver for the simulator.
+ *
+ * Run any benchmark profile under any LSU configuration and print
+ * the full statistics block. Examples:
+ *
+ *   nosq_sim --list
+ *   nosq_sim --bench gzip
+ *   nosq_sim --bench mesa.o --mode nosq --insts 1000000
+ *   nosq_sim --bench gcc --mode storesets --window 256
+ *   nosq_sim --bench g721.e --mode nosq --no-delay
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+using namespace nosq;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: nosq_sim [options]\n"
+        "  --list                list benchmark profiles\n"
+        "  --bench NAME          benchmark to run (required)\n"
+        "  --mode MODE           perfect | storesets | nosq |\n"
+        "                        nosq-perfect   (default: nosq)\n"
+        "  --insts N             measured instructions "
+        "(default 300000)\n"
+        "  --warmup N            warm-up instructions "
+        "(default insts/3)\n"
+        "  --window SIZE         128 | 256 (default 128)\n"
+        "  --no-delay            disable the delay mechanism\n"
+        "  --no-svw              disable SVW filtering "
+        "(re-execute all)\n"
+        "  --history BITS        bypassing predictor history bits\n"
+        "  --entries N           bypassing predictor entries/table\n"
+        "  --seed N              workload seed (default 1)\n");
+}
+
+void
+listProfiles()
+{
+    TextTable table;
+    table.header({"name", "suite", "comm%", "partial%",
+                  "paper IPC"});
+    for (const auto &p : allProfiles()) {
+        table.row({p.name, suiteName(p.suite), fmtPct(p.pctComm),
+                   fmtPct(p.pctPartial), fmtDouble(p.idealIpc, 2)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench;
+    std::string mode = "nosq";
+    std::uint64_t insts = 300000;
+    std::uint64_t warmup = 0;
+    bool warmup_set = false;
+    bool big_window = false;
+    bool delay = true;
+    bool svw = true;
+    unsigned history_bits = 8;
+    unsigned entries = 1024;
+    std::uint64_t seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            listProfiles();
+            return 0;
+        } else if (arg == "--bench") {
+            bench = next();
+        } else if (arg == "--mode") {
+            mode = next();
+        } else if (arg == "--insts") {
+            insts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            warmup = std::strtoull(next(), nullptr, 10);
+            warmup_set = true;
+        } else if (arg == "--window") {
+            big_window = std::strtoul(next(), nullptr, 10) >= 256;
+        } else if (arg == "--no-delay") {
+            delay = false;
+        } else if (arg == "--no-svw") {
+            svw = false;
+        } else if (arg == "--history") {
+            history_bits =
+                static_cast<unsigned>(std::strtoul(next(),
+                                                   nullptr, 10));
+        } else if (arg == "--entries") {
+            entries = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    if (bench.empty()) {
+        usage();
+        return 1;
+    }
+    const BenchmarkProfile *profile = findProfile(bench);
+    if (profile == nullptr) {
+        std::fprintf(stderr, "unknown benchmark '%s' "
+                     "(try --list)\n", bench.c_str());
+        return 1;
+    }
+
+    LsuMode lsu;
+    if (mode == "perfect")
+        lsu = LsuMode::SqPerfect;
+    else if (mode == "storesets")
+        lsu = LsuMode::SqStoreSets;
+    else if (mode == "nosq")
+        lsu = LsuMode::Nosq;
+    else if (mode == "nosq-perfect")
+        lsu = LsuMode::NosqPerfect;
+    else {
+        std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+        return 1;
+    }
+
+    UarchParams params = makeParams(lsu, big_window);
+    params.nosqDelay = delay;
+    params.svwFilter = svw;
+    params.bypass.historyBits = history_bits;
+    params.bypass.entriesPerTable = entries;
+    if (!warmup_set)
+        warmup = insts / 3;
+
+    std::printf("benchmark %s | %s | window %u | delay %s | "
+                "SVW %s\n\n",
+                profile->name, lsuModeName(lsu),
+                big_window ? 256u : 128u, delay ? "on" : "off",
+                svw ? "on" : "off");
+
+    const Program program = synthesize(*profile, seed);
+    OooCore core(params, program);
+    const SimResult r = core.run(insts, warmup);
+
+    TextTable table;
+    table.header({"statistic", "value"});
+    auto row = [&](const char *name, const std::string &value) {
+        table.row({name, value});
+    };
+    auto count = [&](const char *name, std::uint64_t v) {
+        row(name, std::to_string(v));
+    };
+    count("instructions", r.insts);
+    count("cycles", r.cycles);
+    row("IPC", fmtDouble(r.ipc(), 3));
+    count("loads", r.loads);
+    count("stores", r.stores);
+    count("branches", r.branches);
+    row("comm loads %", fmtPct(r.pctCommLoads()));
+    row("partial-word comm %", fmtPct(r.pctPartialCommLoads()));
+    count("bypassed loads", r.bypassedLoads);
+    count("shift&mask uops", r.shiftUops);
+    count("delayed loads", r.delayedLoads);
+    count("bypass mispredicts", r.bypassMispredicts);
+    row("mispredicts /10k loads",
+        fmtDouble(r.mispredictsPer10kLoads(), 2));
+    count("load re-executions", r.reexecLoads);
+    row("re-execution rate %", fmtDouble(100 * r.reexecRate(), 3));
+    count("load value flushes", r.loadFlushes);
+    count("dcache reads (core)", r.dcacheReadsCore);
+    count("dcache reads (backend)", r.dcacheReadsBackend);
+    count("dcache writes", r.dcacheWrites);
+    count("branch mispredicts", r.branchMispredicts);
+    count("SQ forwards", r.sqForwards);
+    count("SQ partial-overlap stalls", r.sqStalls);
+    count("SSN wrap drains", r.ssnWrapDrains);
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
