@@ -10,6 +10,9 @@
  * with the ideal baseline's IPC printed per benchmark and geometric
  * means per suite. Values below 1.000 are speedups over the ideal
  * baseline.
+ *
+ * All 47 x 5 runs execute through the parallel sweep engine; worker
+ * count comes from NOSQ_JOBS (default: hardware concurrency).
  */
 
 #include <cstdio>
@@ -19,7 +22,7 @@
 
 #include "common/table.hh"
 #include "sim/experiment.hh"
-#include "workload/generator.hh"
+#include "sim/sweep.hh"
 #include "workload/profiles.hh"
 
 using namespace nosq;
@@ -27,14 +30,20 @@ using namespace nosq;
 int
 main()
 {
-    const std::uint64_t insts = defaultSimInsts();
-    const std::uint64_t warmup = insts / 3;
+    SweepSpec spec;
+    spec.benchmarks = allProfilePtrs();
+    spec.configs = paperFigureConfigs(/*big_window=*/false);
+    const std::vector<SweepJob> jobs = buildJobs(spec);
+    const std::size_t num_configs = spec.configs.size();
 
     std::printf("Figure 2: relative execution time, 128-entry "
                 "window\n");
     std::printf("(normalized to associative SQ + perfect "
-                "scheduling; %llu measured insts)\n\n",
-                static_cast<unsigned long long>(insts));
+                "scheduling; %llu measured insts, %u workers)\n\n",
+                static_cast<unsigned long long>(jobs.front().insts),
+                defaultSweepWorkers());
+
+    const std::vector<RunResult> results = runSweep(jobs);
 
     TextTable table;
     table.header({"bench", "ideal IPC", "(paper)", "assoc-SQ",
@@ -57,35 +66,23 @@ main()
         rs.clear();
     };
 
-    for (const auto &profile : allProfiles()) {
+    for (std::size_t b = 0; b < spec.benchmarks.size(); ++b) {
+        const BenchmarkProfile &profile = *spec.benchmarks[b];
         if (!first && profile.suite != last_suite)
             flush_mean(last_suite);
         first = false;
         last_suite = profile.suite;
 
-        const Program program = synthesize(profile, 1);
-
-        auto run_mode = [&](LsuMode mode, bool delay) {
-            UarchParams p = makeParams(mode);
-            p.nosqDelay = delay;
-            OooCore core(p, program);
-            return core.run(insts, warmup);
-        };
-
-        const SimResult base = run_mode(LsuMode::SqPerfect, true);
-        const SimResult sets = run_mode(LsuMode::SqStoreSets, true);
-        const SimResult nosq_nd = run_mode(LsuMode::Nosq, false);
-        const SimResult nosq_d = run_mode(LsuMode::Nosq, true);
-        const SimResult ideal = run_mode(LsuMode::NosqPerfect, true);
-
-        const double base_cycles =
-            static_cast<double>(base.cycles);
-        const std::vector<double> rel = {
-            sets.cycles / base_cycles,
-            nosq_nd.cycles / base_cycles,
-            nosq_d.cycles / base_cycles,
-            ideal.cycles / base_cycles,
-        };
+        // paperFigureConfigs order: sq-perfect, sq-storesets,
+        // nosq-nodelay, nosq-delay, nosq-perfect.
+        const SimResult &base =
+            sweepAt(results, num_configs, b, 0).sim;
+        const double base_cycles = static_cast<double>(base.cycles);
+        std::vector<double> rel;
+        for (std::size_t c = 1; c < num_configs; ++c)
+            rel.push_back(
+                sweepAt(results, num_configs, b, c).sim.cycles /
+                base_cycles);
 
         table.row({profile.name, fmtDouble(base.ipc(), 2),
                    fmtDouble(profile.idealIpc, 2), fmtRatio(rel[0]),

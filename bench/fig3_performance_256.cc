@@ -9,6 +9,9 @@
  * rates (helping ideal SMB) but also raises the frequency of
  * path signatures longer than the predictor supports, so realistic
  * NoSQ's edge shrinks relative to the 128-entry machine.
+ *
+ * All runs execute through the parallel sweep engine; worker count
+ * comes from NOSQ_JOBS (default: hardware concurrency).
  */
 
 #include <cstdio>
@@ -18,7 +21,7 @@
 
 #include "common/table.hh"
 #include "sim/experiment.hh"
-#include "workload/generator.hh"
+#include "sim/sweep.hh"
 #include "workload/profiles.hh"
 
 using namespace nosq;
@@ -26,13 +29,19 @@ using namespace nosq;
 int
 main()
 {
-    const std::uint64_t insts = defaultSimInsts();
-    const std::uint64_t warmup = insts / 3;
+    SweepSpec spec;
+    spec.benchmarks = selectedProfiles();
+    spec.configs = paperFigureConfigs(/*big_window=*/true);
+    const std::vector<SweepJob> jobs = buildJobs(spec);
+    const std::size_t num_configs = spec.configs.size();
 
     std::printf("Figure 3: relative execution time, 256-entry "
                 "window\n");
     std::printf("(normalized to associative SQ + perfect scheduling "
-                "on the same machine)\n\n");
+                "on the same machine; %u workers)\n\n",
+                defaultSweepWorkers());
+
+    const std::vector<RunResult> results = runSweep(jobs);
 
     TextTable table;
     table.header({"bench", "ideal IPC", "assoc-SQ", "NoSQ no-dly",
@@ -55,41 +64,29 @@ main()
         rs.clear();
     };
 
-    for (const auto *profile : selectedProfiles()) {
-        if (!first && profile->suite != last_suite)
+    for (std::size_t b = 0; b < spec.benchmarks.size(); ++b) {
+        const BenchmarkProfile &profile = *spec.benchmarks[b];
+        if (!first && profile.suite != last_suite)
             flush_mean(last_suite);
         first = false;
-        last_suite = profile->suite;
+        last_suite = profile.suite;
 
-        const Program program = synthesize(*profile, 1);
+        // paperFigureConfigs order: sq-perfect, sq-storesets,
+        // nosq-nodelay, nosq-delay, nosq-perfect.
+        const SimResult &base =
+            sweepAt(results, num_configs, b, 0).sim;
+        const double base_cycles = static_cast<double>(base.cycles);
+        std::vector<double> rel;
+        for (std::size_t c = 1; c < num_configs; ++c)
+            rel.push_back(
+                sweepAt(results, num_configs, b, c).sim.cycles /
+                base_cycles);
 
-        auto run_mode = [&](LsuMode mode, bool delay) {
-            UarchParams p = makeParams(mode, /*big_window=*/true);
-            p.nosqDelay = delay;
-            OooCore core(p, program);
-            return core.run(insts, warmup);
-        };
-
-        const SimResult base = run_mode(LsuMode::SqPerfect, true);
-        const SimResult sets = run_mode(LsuMode::SqStoreSets, true);
-        const SimResult nosq_nd = run_mode(LsuMode::Nosq, false);
-        const SimResult nosq_d = run_mode(LsuMode::Nosq, true);
-        const SimResult ideal = run_mode(LsuMode::NosqPerfect, true);
-
-        const double base_cycles =
-            static_cast<double>(base.cycles);
-        const std::vector<double> rel = {
-            sets.cycles / base_cycles,
-            nosq_nd.cycles / base_cycles,
-            nosq_d.cycles / base_cycles,
-            ideal.cycles / base_cycles,
-        };
-
-        table.row({profile->name, fmtDouble(base.ipc(), 2),
+        table.row({profile.name, fmtDouble(base.ipc(), 2),
                    fmtRatio(rel[0]), fmtRatio(rel[1]),
                    fmtRatio(rel[2]), fmtRatio(rel[3])});
 
-        auto &rs = ratios[profile->suite];
+        auto &rs = ratios[profile.suite];
         if (rs.empty())
             rs.resize(4);
         for (std::size_t i = 0; i < 4; ++i)

@@ -7,6 +7,8 @@
  * mechanism, plus the percentage of loads delayed.
  *
  * Paper reference values are printed alongside for comparison.
+ * The 47 x 2 runs execute through the parallel sweep engine; worker
+ * count comes from NOSQ_JOBS (default: hardware concurrency).
  */
 
 #include <cstdio>
@@ -16,7 +18,7 @@
 
 #include "common/table.hh"
 #include "sim/experiment.hh"
-#include "workload/generator.hh"
+#include "sim/sweep.hh"
 #include "workload/profiles.hh"
 
 using namespace nosq;
@@ -33,15 +35,26 @@ struct SuiteAccum
 int
 main()
 {
-    const std::uint64_t insts = defaultSimInsts();
-    const std::uint64_t warmup = insts / 3;
+    SweepSpec spec;
+    spec.benchmarks = allProfilePtrs();
+    spec.configs.resize(2);
+    spec.configs[0].name = "nosq-nodelay";
+    spec.configs[0].mode = LsuMode::Nosq;
+    spec.configs[0].nosqDelay = false;
+    spec.configs[1].name = "nosq-delay";
+    spec.configs[1].mode = LsuMode::Nosq;
+    const std::vector<SweepJob> jobs = buildJobs(spec);
+    const std::size_t num_configs = spec.configs.size();
 
     std::printf("Table 5: communication behaviour and prediction "
                 "accuracy\n");
     std::printf("(model: %llu measured instructions per benchmark, "
-                "%llu warm-up)\n\n",
-                static_cast<unsigned long long>(insts),
-                static_cast<unsigned long long>(warmup));
+                "%llu warm-up, %u workers)\n\n",
+                static_cast<unsigned long long>(jobs.front().insts),
+                static_cast<unsigned long long>(jobs.front().warmup),
+                defaultSweepWorkers());
+
+    const std::vector<RunResult> results = runSweep(jobs);
 
     TextTable table;
     table.header({"bench", "comm%", "(paper)", "partial%", "(paper)",
@@ -64,22 +77,17 @@ main()
         table.separator();
     };
 
-    for (const auto &profile : allProfiles()) {
+    for (std::size_t b = 0; b < spec.benchmarks.size(); ++b) {
+        const BenchmarkProfile &profile = *spec.benchmarks[b];
         if (!first && profile.suite != last_suite)
             flush_mean(last_suite);
         first = false;
         last_suite = profile.suite;
 
-        UarchParams no_delay = makeParams(LsuMode::Nosq);
-        no_delay.nosqDelay = false;
-        UarchParams with_delay = makeParams(LsuMode::Nosq);
-        with_delay.nosqDelay = true;
-
-        const Program program = synthesize(profile, 1);
-        OooCore core_nd(no_delay, program);
-        const SimResult rnd = core_nd.run(insts, warmup);
-        OooCore core_d(with_delay, program);
-        const SimResult rd = core_d.run(insts, warmup);
+        const SimResult &rnd =
+            sweepAt(results, num_configs, b, 0).sim;
+        const SimResult &rd =
+            sweepAt(results, num_configs, b, 1).sim;
 
         table.row({profile.name,
                    fmtPct(rd.pctCommLoads()),

@@ -1,20 +1,29 @@
 #include "memsys/cache.hh"
 
-#include <bit>
-
 #include "common/logging.hh"
 
 namespace nosq {
+
+namespace {
+
+// C++17 stand-in for C++20 std::has_single_bit.
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
 
 Cache::Cache(const CacheParams &params_)
     : params(params_)
 {
     nosq_assert(params.lineBytes > 0 &&
-                std::has_single_bit(std::uint64_t(params.lineBytes)),
+                isPowerOfTwo(std::uint64_t(params.lineBytes)),
                 "line size must be a power of two");
     numSets = params.sizeBytes / (params.lineBytes * params.assoc);
     nosq_assert(numSets > 0 &&
-                std::has_single_bit(std::uint64_t(numSets)),
+                isPowerOfTwo(std::uint64_t(numSets)),
                 "set count must be a power of two");
     lines.assign(numSets * params.assoc, Line());
 }

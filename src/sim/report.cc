@@ -1,0 +1,415 @@
+#include "sim/report.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nosq {
+
+// --- emission --------------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<std::size_t>(indent), ' ');
+}
+
+/** Shortest double representation that round-trips cleanly. */
+std::string
+numberToJson(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer a shorter form when it parses back exactly.
+    for (int precision = 1; precision < 17; ++precision) {
+        char probe[32];
+        std::snprintf(probe, sizeof(probe), "%.*g", precision, v);
+        if (std::strtod(probe, nullptr) == v)
+            return probe;
+    }
+    return buf;
+}
+
+struct Field
+{
+    const char *key;
+    std::uint64_t value;
+};
+
+} // anonymous namespace
+
+std::string
+toJson(const SimResult &r, int indent)
+{
+    const Field fields[] = {
+        {"cycles", r.cycles},
+        {"insts", r.insts},
+        {"loads", r.loads},
+        {"stores", r.stores},
+        {"branches", r.branches},
+        {"comm_loads", r.commLoads},
+        {"partial_comm_loads", r.partialCommLoads},
+        {"bypassed_loads", r.bypassedLoads},
+        {"shift_uops", r.shiftUops},
+        {"delayed_loads", r.delayedLoads},
+        {"bypass_mispredicts", r.bypassMispredicts},
+        {"reexec_loads", r.reexecLoads},
+        {"load_flushes", r.loadFlushes},
+        {"dcache_reads_core", r.dcacheReadsCore},
+        {"dcache_reads_backend", r.dcacheReadsBackend},
+        {"dcache_writes", r.dcacheWrites},
+        {"branch_mispredicts", r.branchMispredicts},
+        {"sq_forwards", r.sqForwards},
+        {"sq_stalls", r.sqStalls},
+        {"ssn_wrap_drains", r.ssnWrapDrains},
+    };
+
+    const std::string inner = pad(indent + 2);
+    std::string out = "{\n";
+    for (const Field &f : fields) {
+        out += inner + '"' + f.key +
+            "\": " + std::to_string(f.value) + ",\n";
+    }
+    out += inner + "\"ipc\": " + numberToJson(r.ipc()) + "\n";
+    out += pad(indent) + "}";
+    return out;
+}
+
+std::string
+toJson(const RunResult &r, int indent)
+{
+    const std::string inner = pad(indent + 2);
+    std::string out = "{\n";
+    out += inner + "\"benchmark\": \"" + jsonEscape(r.benchmark) +
+        "\",\n";
+    out += inner + "\"suite\": \"" + jsonEscape(suiteName(r.suite)) +
+        "\",\n";
+    out += inner + "\"config\": \"" + jsonEscape(r.config) + "\",\n";
+    out += inner + "\"stats\": " + toJson(r.sim, indent + 2) + "\n";
+    out += pad(indent) + "}";
+    return out;
+}
+
+std::string
+sweepReportJson(const std::vector<RunResult> &results,
+                std::uint64_t insts)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"nosq-sweep-v1\",\n";
+    out += "  \"insts\": " + std::to_string(insts) + ",\n";
+    out += "  \"runs\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        out += i ? ",\n    " : "\n    ";
+        out += toJson(results[i], 4);
+    }
+    out += results.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+// --- parsing ---------------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &member : object)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+namespace {
+
+/** Recursive-descent parser over the emitted JSON subset. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text_, std::string *error_)
+        : text(text_), error(error_)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos != text.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &message)
+    {
+        if (error && error->empty()) {
+            *error = "JSON error at offset " + std::to_string(pos) +
+                ": " + message;
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word, JsonValue &out, JsonValue::Kind kind,
+            bool boolean)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text.compare(pos, len, word) != 0)
+            return fail("invalid literal");
+        pos += len;
+        out.kind = kind;
+        out.boolean = boolean;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                const unsigned code = static_cast<unsigned>(
+                    std::strtoul(text.substr(pos, 4).c_str(),
+                                 nullptr, 16));
+                pos += 4;
+                // Emitted strings only escape control bytes; decode
+                // the BMP subset as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        // JSON grammar: -?int frac? exp?  (strtod alone is too
+        // permissive: it accepts "+1", "1.2" of "1.2.3", hex, inf).
+        const std::size_t start = pos;
+        consume('-');
+        std::size_t digits = 0;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+            ++digits;
+        }
+        if (digits == 0)
+            return fail("expected number");
+        if (digits > 1 && text[start + (text[start] == '-')] == '0')
+            return fail("leading zero in number");
+        if (consume('.')) {
+            digits = 0;
+            while (pos < text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+                ++digits;
+            }
+            if (digits == 0)
+                return fail("expected fraction digits");
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            digits = 0;
+            while (pos < text.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+                ++digits;
+            }
+            if (digits == 0)
+                return fail("expected exponent digits");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number =
+            std::strtod(text.substr(start, pos - start).c_str(),
+                        nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        }
+        if (c == 't')
+            return literal("true", out, JsonValue::Kind::Bool, true);
+        if (c == 'f')
+            return literal("false", out, JsonValue::Kind::Bool,
+                           false);
+        if (c == 'n')
+            return literal("null", out, JsonValue::Kind::Null, false);
+        return parseNumber(out);
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        consume('{');
+        skipSpace();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace_back(std::move(key),
+                                    std::move(value));
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        consume('[');
+        skipSpace();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.array.push_back(std::move(value));
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    const std::string &text;
+    std::string *error;
+    std::size_t pos = 0;
+};
+
+} // anonymous namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    JsonParser parser(text, error);
+    return parser.parse(out);
+}
+
+} // namespace nosq

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * JSON stats reporting for sweep results.
+ *
+ * Serializes RunResult/SimResult to a stable, versioned schema
+ * ("nosq-sweep-v1") so external tooling can track benchmark
+ * trajectories (BENCH_*.json) across commits, plus a small
+ * self-contained JSON parser used by tests and the CI smoke check to
+ * validate emitted output without external dependencies.
+ *
+ * Schema:
+ * {
+ *   "schema": "nosq-sweep-v1",
+ *   "insts": <measured instructions per run>,
+ *   "runs": [
+ *     {
+ *       "benchmark": "gcc",
+ *       "suite": "int",
+ *       "config": "nosq/w128",
+ *       "stats": {
+ *         "cycles": ..., "insts": ..., "ipc": ...,
+ *         "loads": ..., "stores": ..., "branches": ...,
+ *         "comm_loads": ..., "partial_comm_loads": ...,
+ *         "bypassed_loads": ..., "shift_uops": ...,
+ *         "delayed_loads": ..., "bypass_mispredicts": ...,
+ *         "reexec_loads": ..., "load_flushes": ...,
+ *         "dcache_reads_core": ..., "dcache_reads_backend": ...,
+ *         "dcache_writes": ..., "branch_mispredicts": ...,
+ *         "sq_forwards": ..., "sq_stalls": ..., "ssn_wrap_drains": ...
+ *       }
+ *     }, ...
+ *   ]
+ * }
+ */
+
+#ifndef NOSQ_SIM_REPORT_HH
+#define NOSQ_SIM_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace nosq {
+
+// --- emission --------------------------------------------------------------
+
+/** Escape @p s for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Serialize one SimResult as a JSON object. */
+std::string toJson(const SimResult &r, int indent = 0);
+
+/** Serialize one RunResult (benchmark/suite/config + stats). */
+std::string toJson(const RunResult &r, int indent = 0);
+
+/**
+ * Serialize a full sweep to the nosq-sweep-v1 schema.
+ * @param insts the per-run measured instruction count recorded in
+ *        the report header
+ */
+std::string sweepReportJson(const std::vector<RunResult> &results,
+                            std::uint64_t insts);
+
+// --- parsing ---------------------------------------------------------------
+
+/** A parsed JSON value (objects preserve key order). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Object member lookup; nullptr if absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** number, asserted integral-safe convenience accessor. */
+    std::uint64_t
+    asU64() const
+    {
+        return static_cast<std::uint64_t>(number);
+    }
+};
+
+/**
+ * Parse @p text as a single JSON document.
+ *
+ * Supports the full emitted subset: objects, arrays, strings with
+ * escapes, numbers (including exponents), true/false/null.
+ *
+ * @return true on success; on failure @p error (if non-null) gets a
+ *         position-annotated message
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+} // namespace nosq
+
+#endif // NOSQ_SIM_REPORT_HH

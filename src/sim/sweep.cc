@@ -1,0 +1,237 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+#include "ooo/core.hh"
+#include "workload/generator.hh"
+
+namespace nosq {
+
+UarchParams
+SweepConfig::materialize() const
+{
+    UarchParams params = makeParams(mode, bigWindow);
+    params.nosqDelay = nosqDelay;
+    if (tweak)
+        tweak(params);
+    return params;
+}
+
+std::vector<SweepJob>
+buildJobs(const SweepSpec &spec)
+{
+    const std::uint64_t insts =
+        spec.insts ? spec.insts : defaultSimInsts();
+    const std::uint64_t warmup =
+        spec.warmup == ~std::uint64_t(0) ? insts / 3 : spec.warmup;
+
+    std::vector<SweepJob> jobs;
+    jobs.reserve(spec.benchmarks.size() * spec.configs.size());
+    for (const BenchmarkProfile *profile : spec.benchmarks) {
+        nosq_assert(profile != nullptr, "null profile in sweep spec");
+        for (const SweepConfig &config : spec.configs) {
+            SweepJob job;
+            job.profile = profile;
+            job.params = config.materialize();
+            job.config = config.name;
+            job.seed = spec.seed;
+            job.insts = insts;
+            job.warmup = warmup;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+std::vector<const BenchmarkProfile *>
+profilesOfSuite(Suite suite)
+{
+    std::vector<const BenchmarkProfile *> profiles;
+    for (const auto &p : allProfiles())
+        if (p.suite == suite)
+            profiles.push_back(&p);
+    return profiles;
+}
+
+std::vector<const BenchmarkProfile *>
+allProfilePtrs()
+{
+    std::vector<const BenchmarkProfile *> profiles;
+    for (const auto &p : allProfiles())
+        profiles.push_back(&p);
+    return profiles;
+}
+
+std::vector<SweepConfig>
+crossConfigs(const std::vector<LsuMode> &modes,
+             const std::vector<unsigned> &windows)
+{
+    std::vector<SweepConfig> configs;
+    configs.reserve(modes.size() * windows.size());
+    for (const LsuMode mode : modes) {
+        for (const unsigned window : windows) {
+            // makeParams models exactly the paper's two machines.
+            nosq_assert(window == 128 || window == 256,
+                        "window size must be 128 or 256");
+            SweepConfig config;
+            config.mode = mode;
+            config.bigWindow = window == 256;
+            config.name = std::string(lsuModeName(mode)) + "/w" +
+                std::to_string(window);
+            configs.push_back(std::move(config));
+        }
+    }
+    return configs;
+}
+
+std::vector<SweepConfig>
+paperFigureConfigs(bool big_window)
+{
+    std::vector<SweepConfig> configs(5);
+    configs[0].name = "sq-perfect";
+    configs[0].mode = LsuMode::SqPerfect;
+    configs[1].name = "sq-storesets";
+    configs[1].mode = LsuMode::SqStoreSets;
+    configs[2].name = "nosq-nodelay";
+    configs[2].mode = LsuMode::Nosq;
+    configs[2].nosqDelay = false;
+    configs[3].name = "nosq-delay";
+    configs[3].mode = LsuMode::Nosq;
+    configs[4].name = "nosq-perfect";
+    configs[4].mode = LsuMode::NosqPerfect;
+    for (auto &config : configs)
+        config.bigWindow = big_window;
+    return configs;
+}
+
+void
+JobQueue::push(std::size_t index)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        nosq_assert(!closed, "push after close");
+        pending.push_back(index);
+    }
+    cv.notify_one();
+}
+
+void
+JobQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        closed = true;
+    }
+    cv.notify_all();
+}
+
+bool
+JobQueue::pop(std::size_t &index)
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return !pending.empty() || closed; });
+    if (pending.empty())
+        return false;
+    index = pending.front();
+    pending.pop_front();
+    return true;
+}
+
+unsigned
+defaultSweepWorkers()
+{
+    if (const char *env = std::getenv("NOSQ_JOBS")) {
+        const auto v = std::strtoul(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+namespace {
+
+/**
+ * Run one job. All simulation state (workload RNG, core, caches,
+ * predictors) is constructed here from the job tuple alone, which is
+ * what makes worker count and claim order irrelevant to the result.
+ */
+RunResult
+runOne(const SweepJob &job)
+{
+    RunResult result;
+    result.benchmark = job.profile->name;
+    result.suite = job.profile->suite;
+    result.config = job.config;
+    const Program program = synthesize(*job.profile, job.seed);
+    OooCore core(job.params, program);
+    result.sim = core.run(job.insts, job.warmup);
+    return result;
+}
+
+} // anonymous namespace
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepJob> &jobs, unsigned num_workers,
+         const SweepProgress &progress)
+{
+    std::vector<RunResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    if (num_workers == 0)
+        num_workers = defaultSweepWorkers();
+    if (num_workers > jobs.size())
+        num_workers = static_cast<unsigned>(jobs.size());
+
+    if (num_workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            results[i] = runOne(jobs[i]);
+            if (progress)
+                progress(i + 1, jobs.size());
+        }
+        return results;
+    }
+
+    JobQueue queue;
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    auto worker = [&] {
+        std::size_t index;
+        while (queue.pop(index)) {
+            results[index] = runOne(jobs[index]);
+            if (progress) {
+                // Increment under the same lock as the callback so
+                // reported counts are monotonic across workers.
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress(++done, jobs.size());
+            } else {
+                ++done;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(num_workers);
+    for (unsigned w = 0; w < num_workers; ++w)
+        pool.emplace_back(worker);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        queue.push(i);
+    queue.close();
+    for (auto &thread : pool)
+        thread.join();
+    return results;
+}
+
+std::vector<RunResult>
+runSweep(const SweepSpec &spec, unsigned num_workers,
+         const SweepProgress &progress)
+{
+    return runSweep(buildJobs(spec), num_workers, progress);
+}
+
+} // namespace nosq

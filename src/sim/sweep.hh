@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Parallel experiment-sweep engine.
+ *
+ * The paper's results are all multi-configuration sweeps (Figures
+ * 2-5, Table 5): many (benchmark, machine configuration) pairs whose
+ * statistics are then reduced per suite. Each pair is an independent
+ * simulation -- the workload synthesizer and the timing core carry
+ * all of their state (including RNG state) in per-run objects -- so
+ * a sweep parallelizes trivially across a worker pool.
+ *
+ * Determinism contract: a job's result depends only on the job tuple
+ * (profile, params, seed, insts, warmup), never on which worker ran
+ * it or in what order jobs were claimed. Every job carries its own
+ * seed, fixed at job-construction time, and each worker runs jobs
+ * with freshly constructed Program/OooCore instances. runSweep()
+ * therefore returns bit-identical results for any worker count,
+ * always ordered by job index.
+ */
+
+#ifndef NOSQ_SIM_SWEEP_HH
+#define NOSQ_SIM_SWEEP_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ooo/uarch_params.hh"
+#include "sim/experiment.hh"
+#include "workload/profiles.hh"
+
+namespace nosq {
+
+/** One unit of sweep work: a benchmark under one configuration. */
+struct SweepJob
+{
+    const BenchmarkProfile *profile = nullptr;
+    UarchParams params;
+    /** Stable configuration label carried into the RunResult. */
+    std::string config;
+    std::uint64_t seed = 1;
+    std::uint64_t insts = 0;
+    std::uint64_t warmup = 0;
+};
+
+/**
+ * A named machine configuration point in a sweep cross-product.
+ *
+ * materialize() builds the UarchParams from the paper's two machine
+ * sizes and then applies the optional @c tweak hook, so sweeps can
+ * vary any knob (predictor geometry, SVW, widths) declaratively.
+ */
+struct SweepConfig
+{
+    std::string name;
+    LsuMode mode = LsuMode::Nosq;
+    bool bigWindow = false;
+    bool nosqDelay = true;
+    std::function<void(UarchParams &)> tweak;
+
+    UarchParams materialize() const;
+};
+
+/** Declarative sweep: benchmarks x configurations cross-product. */
+struct SweepSpec
+{
+    std::vector<const BenchmarkProfile *> benchmarks;
+    std::vector<SweepConfig> configs;
+    /** Measured instructions per run (0: defaultSimInsts()). */
+    std::uint64_t insts = 0;
+    /** Warm-up instructions (~0: insts / 3). */
+    std::uint64_t warmup = ~std::uint64_t(0);
+    /** Workload synthesis seed shared by every job. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Expand @p spec into its job list, benchmark-major: job index
+ * b * configs.size() + c runs benchmark b under configuration c.
+ */
+std::vector<SweepJob> buildJobs(const SweepSpec &spec);
+
+// --- cross-product builders ------------------------------------------------
+
+/** All profiles of @p suite, in Table 5 order. */
+std::vector<const BenchmarkProfile *> profilesOfSuite(Suite suite);
+
+/** All 47 profiles, in Table 5 order. */
+std::vector<const BenchmarkProfile *> allProfilePtrs();
+
+/**
+ * The modes x window-sizes cross-product, e.g.
+ * crossConfigs({Nosq, SqStoreSets}, {128, 256}) yields four configs
+ * named "<mode>/w<window>". Window sizes must be 128 or 256, the
+ * paper's two machines (asserted).
+ */
+std::vector<SweepConfig> crossConfigs(
+    const std::vector<LsuMode> &modes,
+    const std::vector<unsigned> &windows);
+
+/**
+ * The five bars of Figures 2 and 3 on one machine size: SQ+perfect
+ * scheduling (the normalization baseline), SQ+StoreSets, NoSQ
+ * without delay, NoSQ with delay, and perfect-predictor NoSQ.
+ */
+std::vector<SweepConfig> paperFigureConfigs(bool big_window);
+
+// --- execution -------------------------------------------------------------
+
+/**
+ * Mutex/condvar-protected single-producer multi-consumer queue of
+ * job indices. Workers block in pop() until an index is available or
+ * the producer closes the queue.
+ */
+class JobQueue
+{
+  public:
+    /** Producer: enqueue one job index. */
+    void push(std::size_t index);
+
+    /** Producer: signal that no more indices will arrive. */
+    void close();
+
+    /**
+     * Consumer: block for the next index.
+     * @return false when the queue is closed and drained.
+     */
+    bool pop(std::size_t &index);
+
+  private:
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::size_t> pending;
+    bool closed = false;
+};
+
+/** Progress callback: (jobs completed so far, total jobs). */
+using SweepProgress =
+    std::function<void(std::size_t done, std::size_t total)>;
+
+/** Worker count from NOSQ_JOBS, else hardware concurrency. */
+unsigned defaultSweepWorkers();
+
+/**
+ * Run every job and return results ordered by job index.
+ *
+ * @param num_workers worker threads (0: defaultSweepWorkers());
+ *        clamped to the job count; 1 runs inline on the caller
+ * @param progress optional completion callback, serialized by the
+ *        engine (at most one invocation at a time)
+ */
+std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs,
+                                unsigned num_workers = 0,
+                                const SweepProgress &progress = {});
+
+/** buildJobs() + runSweep() in one call. */
+std::vector<RunResult> runSweep(const SweepSpec &spec,
+                                unsigned num_workers = 0,
+                                const SweepProgress &progress = {});
+
+/**
+ * Result accessor for the benchmark-major layout of buildJobs():
+ * the run of benchmark @p b under configuration @p c.
+ */
+inline const RunResult &
+sweepAt(const std::vector<RunResult> &results, std::size_t num_configs,
+        std::size_t b, std::size_t c)
+{
+    return results[b * num_configs + c];
+}
+
+} // namespace nosq
+
+#endif // NOSQ_SIM_SWEEP_HH

@@ -57,9 +57,12 @@ TEST_P(ModeSweep, RunsCleanWithSaneStats)
     EXPECT_GT(r.ipc(), 0.005);
     EXPECT_LE(r.ipc(), 4.0);
 
-    if (mode == LsuMode::SqPerfect || mode == LsuMode::NosqPerfect)
+    if (mode == LsuMode::SqPerfect || mode == LsuMode::NosqPerfect) {
         EXPECT_EQ(r.loadFlushes, 0u);
-    if (!UarchParams{.mode = mode}.isNosq()) {
+    }
+    UarchParams mode_only;
+    mode_only.mode = mode;
+    if (!mode_only.isNosq()) {
         EXPECT_EQ(r.bypassedLoads, 0u);
         // Every baseline load reads the cache; a few loads in flight
         // across the warm-up stat boundary may skew the counters.
@@ -112,8 +115,9 @@ TEST_P(NosqSweep, AccuracyAndFilterWithinPaperEnvelope)
     // Paper: ~0.7% of loads re-execute; allow a x20 envelope.
     EXPECT_LT(r.reexecRate(), 0.15) << profile->name;
     // Loads that communicate should mostly bypass once warmed.
-    if (profile->pctComm > 5.0)
+    if (profile->pctComm > 5.0) {
         EXPECT_GT(r.bypassedLoads, 0u) << profile->name;
+    }
     // NoSQ never reads the cache more than once per load in the
     // core (slack: loads in flight across the warm-up boundary).
     EXPECT_LE(r.dcacheReadsCore, r.loads + 64);

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine and the JSON reporter:
+ * parallel/serial bit-identity, result ordering, the declarative
+ * cross-product builders, and JSON emission/round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sim/report.hh"
+#include "sim/sweep.hh"
+
+namespace nosq {
+namespace {
+
+constexpr std::uint64_t test_insts = 20000;
+
+/** A small but diverse job list: 3 benchmarks x 3 configurations. */
+std::vector<SweepJob>
+smallJobList()
+{
+    SweepSpec spec;
+    for (const char *name : {"gcc", "g721.e", "mcf"})
+        spec.benchmarks.push_back(findProfile(name));
+    spec.configs = paperFigureConfigs(false);
+    spec.configs.resize(3); // sq-perfect, sq-storesets, nosq-nodelay
+    spec.insts = test_insts;
+    return buildJobs(spec);
+}
+
+/** Field-by-field equality (SimResult has no operator==). */
+void
+expectSameStats(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.commLoads, b.commLoads);
+    EXPECT_EQ(a.partialCommLoads, b.partialCommLoads);
+    EXPECT_EQ(a.bypassedLoads, b.bypassedLoads);
+    EXPECT_EQ(a.shiftUops, b.shiftUops);
+    EXPECT_EQ(a.delayedLoads, b.delayedLoads);
+    EXPECT_EQ(a.bypassMispredicts, b.bypassMispredicts);
+    EXPECT_EQ(a.reexecLoads, b.reexecLoads);
+    EXPECT_EQ(a.loadFlushes, b.loadFlushes);
+    EXPECT_EQ(a.dcacheReadsCore, b.dcacheReadsCore);
+    EXPECT_EQ(a.dcacheReadsBackend, b.dcacheReadsBackend);
+    EXPECT_EQ(a.dcacheWrites, b.dcacheWrites);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.sqForwards, b.sqForwards);
+    EXPECT_EQ(a.sqStalls, b.sqStalls);
+    EXPECT_EQ(a.ssnWrapDrains, b.ssnWrapDrains);
+}
+
+TEST(Sweep, ParallelBitIdenticalToSerial)
+{
+    const std::vector<SweepJob> jobs = smallJobList();
+    const std::vector<RunResult> serial = runSweep(jobs, 1);
+    const std::vector<RunResult> parallel = runSweep(jobs, 4);
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(serial[i].benchmark, parallel[i].benchmark);
+        EXPECT_EQ(serial[i].config, parallel[i].config);
+        expectSameStats(serial[i].sim, parallel[i].sim);
+    }
+}
+
+TEST(Sweep, ResultOrderMatchesJobOrder)
+{
+    const std::vector<SweepJob> jobs = smallJobList();
+    const std::vector<RunResult> results = runSweep(jobs, 4);
+
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(results[i].benchmark, jobs[i].profile->name);
+        EXPECT_EQ(results[i].suite, jobs[i].profile->suite);
+        EXPECT_EQ(results[i].config, jobs[i].config);
+        // Every slot was filled by a real run.
+        EXPECT_EQ(results[i].sim.insts, test_insts);
+        EXPECT_GT(results[i].sim.cycles, 0u);
+    }
+}
+
+TEST(Sweep, BuildJobsCrossProduct)
+{
+    SweepSpec spec;
+    for (const char *name : {"gzip", "mcf"})
+        spec.benchmarks.push_back(findProfile(name));
+    spec.configs = crossConfigs(
+        {LsuMode::Nosq, LsuMode::SqStoreSets}, {128, 256});
+    spec.insts = 1000;
+    spec.warmup = 100;
+    spec.seed = 7;
+
+    const std::vector<SweepJob> jobs = buildJobs(spec);
+    ASSERT_EQ(jobs.size(), 8u); // 2 benchmarks x (2 modes x 2 sizes)
+
+    // Benchmark-major: all of gzip's configs precede mcf's.
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_STREQ(jobs[c].profile->name, "gzip");
+        EXPECT_STREQ(jobs[4 + c].profile->name, "mcf");
+        EXPECT_EQ(jobs[c].config, jobs[4 + c].config);
+    }
+    // Window size flows into the materialized params.
+    EXPECT_EQ(jobs[0].config, "nosq/w128");
+    EXPECT_EQ(jobs[1].config, "nosq/w256");
+    EXPECT_GT(jobs[1].params.robSize, jobs[0].params.robSize);
+    for (const SweepJob &job : jobs) {
+        EXPECT_EQ(job.seed, 7u);
+        EXPECT_EQ(job.insts, 1000u);
+        EXPECT_EQ(job.warmup, 100u);
+    }
+}
+
+TEST(Sweep, ConfigTweakHookApplies)
+{
+    SweepConfig config;
+    config.mode = LsuMode::Nosq;
+    config.tweak = [](UarchParams &p) { p.bypass.historyBits = 3; };
+    EXPECT_EQ(config.materialize().bypass.historyBits, 3u);
+}
+
+TEST(Sweep, ProfileSetBuilders)
+{
+    const auto all = allProfilePtrs();
+    EXPECT_EQ(all.size(), allProfiles().size());
+    std::size_t by_suite = 0;
+    for (const Suite s : {Suite::Media, Suite::Int, Suite::Fp})
+        by_suite += profilesOfSuite(s).size();
+    EXPECT_EQ(by_suite, all.size());
+}
+
+TEST(JobQueue, DrainsInFifoOrderAndSignalsClose)
+{
+    JobQueue queue;
+    for (std::size_t i = 0; i < 5; ++i)
+        queue.push(i);
+    queue.close();
+    std::size_t index = 0, expected = 0;
+    while (queue.pop(index))
+        EXPECT_EQ(index, expected++);
+    EXPECT_EQ(expected, 5u);
+    EXPECT_FALSE(queue.pop(index)); // stays closed
+}
+
+TEST(JobQueue, BlockedConsumerWakesOnPush)
+{
+    JobQueue queue;
+    std::atomic<bool> got{false};
+    std::thread consumer([&] {
+        std::size_t index;
+        while (queue.pop(index))
+            got = true;
+    });
+    queue.push(42);
+    queue.close();
+    consumer.join();
+    EXPECT_TRUE(got);
+}
+
+TEST(SweepProgress, ReportsEveryCompletion)
+{
+    const std::vector<SweepJob> jobs = smallJobList();
+    std::size_t calls = 0, last_done = 0;
+    runSweep(jobs, 2, [&](std::size_t done, std::size_t total) {
+        ++calls;
+        EXPECT_LE(done, total);
+        EXPECT_EQ(total, jobs.size());
+        last_done = done > last_done ? done : last_done;
+    });
+    EXPECT_EQ(calls, jobs.size());
+    EXPECT_EQ(last_done, jobs.size());
+}
+
+// --- JSON reporter ---------------------------------------------------------
+
+TEST(Report, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Report, ParserHandlesEmittedSubset)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parseJson(
+        "{\"a\": [1, 2.5, -3e2], \"b\": \"x\\ny\", "
+        "\"c\": true, \"d\": null}", v, &error)) << error;
+    ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+    EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+    EXPECT_EQ(v.find("b")->string, "x\ny");
+    EXPECT_TRUE(v.find("c")->boolean);
+    EXPECT_EQ(v.find("d")->kind, JsonValue::Kind::Null);
+}
+
+TEST(Report, ParserRejectsMalformedInput)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(parseJson("{\"a\": }", v, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseJson("[1, 2", v));
+    EXPECT_FALSE(parseJson("{} trailing", v));
+    EXPECT_FALSE(parseJson("\"unterminated", v));
+    // Malformed numbers that permissive strtod would half-accept.
+    EXPECT_FALSE(parseJson("[1.2.3]", v));
+    EXPECT_FALSE(parseJson("[-]", v));
+    EXPECT_FALSE(parseJson("[1e+]", v));
+    EXPECT_FALSE(parseJson("[+1]", v));
+    EXPECT_FALSE(parseJson("[1.]", v));
+    EXPECT_FALSE(parseJson("[007]", v));
+}
+
+TEST(Report, SweepReportRoundTripsKeyFields)
+{
+    const std::vector<SweepJob> jobs = smallJobList();
+    const std::vector<RunResult> results = runSweep(jobs, 2);
+    const std::string report =
+        sweepReportJson(results, test_insts);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(report, doc, &error)) << error;
+
+    EXPECT_EQ(doc.find("schema")->string, "nosq-sweep-v1");
+    EXPECT_EQ(doc.find("insts")->asU64(), test_insts);
+
+    const JsonValue *runs = doc.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->array.size(), results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const JsonValue &run = runs->array[i];
+        const RunResult &r = results[i];
+        EXPECT_EQ(run.find("benchmark")->string, r.benchmark);
+        EXPECT_EQ(run.find("suite")->string, suiteName(r.suite));
+        EXPECT_EQ(run.find("config")->string, r.config);
+        const JsonValue *stats = run.find("stats");
+        ASSERT_NE(stats, nullptr);
+        EXPECT_EQ(stats->find("cycles")->asU64(), r.sim.cycles);
+        EXPECT_EQ(stats->find("insts")->asU64(), r.sim.insts);
+        EXPECT_EQ(stats->find("loads")->asU64(), r.sim.loads);
+        EXPECT_EQ(stats->find("stores")->asU64(), r.sim.stores);
+        EXPECT_EQ(stats->find("bypassed_loads")->asU64(),
+                  r.sim.bypassedLoads);
+        EXPECT_EQ(stats->find("sq_forwards")->asU64(),
+                  r.sim.sqForwards);
+        EXPECT_DOUBLE_EQ(stats->find("ipc")->number, r.sim.ipc());
+    }
+}
+
+TEST(Report, EmptySweepIsValidJson)
+{
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(sweepReportJson({}, 0), doc, &error))
+        << error;
+    EXPECT_EQ(doc.find("runs")->array.size(), 0u);
+}
+
+} // anonymous namespace
+} // namespace nosq

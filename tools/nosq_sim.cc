@@ -3,22 +3,29 @@
  * nosq_sim: command-line driver for the simulator.
  *
  * Run any benchmark profile under any LSU configuration and print
- * the full statistics block. Examples:
+ * the full statistics block, or run a parallel multi-configuration
+ * sweep. Examples:
  *
  *   nosq_sim --list
  *   nosq_sim --bench gzip
  *   nosq_sim --bench mesa.o --mode nosq --insts 1000000
  *   nosq_sim --bench gcc --mode storesets --window 256
  *   nosq_sim --bench g721.e --mode nosq --no-delay
+ *   nosq_sim --sweep --jobs 8 --json
+ *   nosq_sim --sweep --suite int --modes nosq,storesets \
+ *            --windows 128,256 --json --out sweep.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/table.hh"
 #include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/sweep.hh"
 #include "workload/generator.hh"
 #include "workload/profiles.hh"
 
@@ -32,7 +39,9 @@ usage()
     std::printf(
         "usage: nosq_sim [options]\n"
         "  --list                list benchmark profiles\n"
-        "  --bench NAME          benchmark to run (required)\n"
+        "  --bench NAME          benchmark to run (single-run mode:\n"
+        "                        required; sweep mode: restrict the\n"
+        "                        sweep to this benchmark)\n"
         "  --mode MODE           perfect | storesets | nosq |\n"
         "                        nosq-perfect   (default: nosq)\n"
         "  --insts N             measured instructions "
@@ -45,7 +54,26 @@ usage()
         "(re-execute all)\n"
         "  --history BITS        bypassing predictor history bits\n"
         "  --entries N           bypassing predictor entries/table\n"
-        "  --seed N              workload seed (default 1)\n");
+        "  --seed N              workload seed (default 1)\n"
+        "sweep mode:\n"
+        "  --sweep               run a modes x windows x benchmarks\n"
+        "                        cross-product in parallel\n"
+        "  --jobs N              worker threads (default: NOSQ_JOBS\n"
+        "                        env, else hardware concurrency)\n"
+        "  --suite NAME          media | int | fp | selected | all\n"
+        "                        (default: selected)\n"
+        "  --modes LIST          comma-separated mode list\n"
+        "                        (default: all four modes, or\n"
+        "                        --mode when given)\n"
+        "  --windows LIST        comma-separated window sizes, each\n"
+        "                        128 or 256 (default: 128,256, or\n"
+        "                        --window when given)\n"
+        "  --json                emit the nosq-sweep-v1 JSON report\n"
+        "                        to stdout instead of a table\n"
+        "  --out FILE            write the JSON report to FILE (the\n"
+        "                        table still prints without --json)\n"
+        "  (--no-delay, --no-svw, --history, --entries apply to\n"
+        "   every sweep configuration)\n");
 }
 
 void
@@ -59,6 +87,183 @@ listProfiles()
                    fmtPct(p.pctPartial), fmtDouble(p.idealIpc, 2)});
     }
     std::fputs(table.render().c_str(), stdout);
+}
+
+bool
+parseMode(const std::string &name, LsuMode &mode)
+{
+    if (name == "perfect")
+        mode = LsuMode::SqPerfect;
+    else if (name == "storesets")
+        mode = LsuMode::SqStoreSets;
+    else if (name == "nosq")
+        mode = LsuMode::Nosq;
+    else if (name == "nosq-perfect")
+        mode = LsuMode::NosqPerfect;
+    else
+        return false;
+    return true;
+}
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) {
+            items.push_back(list.substr(start));
+            break;
+        }
+        items.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return items;
+}
+
+struct SweepOptions
+{
+    std::string suite = "selected";
+    std::string bench;
+    std::string modes;
+    std::string windows = "128,256";
+    std::uint64_t insts = 0;
+    std::uint64_t warmup = ~std::uint64_t(0);
+    std::uint64_t seed = 1;
+    unsigned jobs = 0;
+    bool json = false;
+    std::string out_path;
+    // Single-run knobs forwarded into every sweep configuration.
+    bool delay = true;
+    bool svw = true;
+    bool history_set = false;
+    unsigned history_bits = 8;
+    bool entries_set = false;
+    unsigned entries = 1024;
+};
+
+int
+runSweepMode(const SweepOptions &opt)
+{
+    SweepSpec spec;
+    spec.insts = opt.insts;
+    spec.warmup = opt.warmup;
+    spec.seed = opt.seed;
+
+    // Benchmark set.
+    if (!opt.bench.empty()) {
+        const BenchmarkProfile *profile = findProfile(opt.bench);
+        if (profile == nullptr) {
+            std::fprintf(stderr, "unknown benchmark '%s' "
+                         "(try --list)\n", opt.bench.c_str());
+            return 1;
+        }
+        spec.benchmarks.push_back(profile);
+    } else if (opt.suite == "all") {
+        spec.benchmarks = allProfilePtrs();
+    } else if (opt.suite == "selected") {
+        spec.benchmarks = selectedProfiles();
+    } else if (opt.suite == "media") {
+        spec.benchmarks = profilesOfSuite(Suite::Media);
+    } else if (opt.suite == "int") {
+        spec.benchmarks = profilesOfSuite(Suite::Int);
+    } else if (opt.suite == "fp") {
+        spec.benchmarks = profilesOfSuite(Suite::Fp);
+    } else {
+        std::fprintf(stderr, "unknown suite '%s'\n",
+                     opt.suite.c_str());
+        return 1;
+    }
+
+    // Configuration cross-product: modes x window sizes.
+    std::vector<LsuMode> modes;
+    if (opt.modes.empty()) {
+        modes = {LsuMode::SqPerfect, LsuMode::SqStoreSets,
+                 LsuMode::Nosq, LsuMode::NosqPerfect};
+    } else {
+        for (const std::string &name : splitList(opt.modes)) {
+            LsuMode mode;
+            if (!parseMode(name, mode)) {
+                std::fprintf(stderr, "unknown mode '%s'\n",
+                             name.c_str());
+                return 1;
+            }
+            modes.push_back(mode);
+        }
+    }
+    std::vector<unsigned> windows;
+    for (const std::string &w : splitList(opt.windows)) {
+        char *end = nullptr;
+        const unsigned long size = std::strtoul(w.c_str(), &end, 10);
+        if (end == w.c_str() || *end != '\0' ||
+            (size != 128 && size != 256)) {
+            std::fprintf(stderr, "invalid window size '%s' "
+                         "(must be 128 or 256)\n", w.c_str());
+            return 1;
+        }
+        windows.push_back(static_cast<unsigned>(size));
+    }
+    if (windows.empty() || modes.empty() || spec.benchmarks.empty()) {
+        std::fprintf(stderr, "empty sweep\n");
+        return 1;
+    }
+    spec.configs = crossConfigs(modes, windows);
+    for (SweepConfig &config : spec.configs) {
+        if (!opt.delay)
+            config.nosqDelay = false;
+        config.tweak = [&opt](UarchParams &p) {
+            p.svwFilter = opt.svw;
+            if (opt.history_set)
+                p.bypass.historyBits = opt.history_bits;
+            if (opt.entries_set)
+                p.bypass.entriesPerTable = opt.entries;
+        };
+    }
+
+    const std::vector<SweepJob> jobs = buildJobs(spec);
+    SweepProgress progress;
+    if (!opt.json) {
+        progress = [](std::size_t done, std::size_t total) {
+            std::fprintf(stderr, "\r[%zu/%zu]", done, total);
+            if (done == total)
+                std::fputc('\n', stderr);
+        };
+    }
+    const std::vector<RunResult> results =
+        runSweep(jobs, opt.jobs, progress);
+
+    const std::uint64_t insts = jobs.empty() ? 0 : jobs.front().insts;
+    if (opt.json || !opt.out_path.empty()) {
+        const std::string report = sweepReportJson(results, insts);
+        if (!opt.out_path.empty()) {
+            std::FILE *f = std::fopen(opt.out_path.c_str(), "w");
+            if (f == nullptr) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             opt.out_path.c_str());
+                return 1;
+            }
+            std::fputs(report.c_str(), f);
+            std::fclose(f);
+        }
+        if (opt.json) {
+            std::fputs(report.c_str(), stdout);
+            return 0;
+        }
+        // --out without --json: file written, table still prints.
+    }
+
+    TextTable table;
+    table.header({"bench", "config", "IPC", "cycles", "mw/10k",
+                  "dly%"});
+    for (const RunResult &r : results) {
+        table.row({r.benchmark, r.config, fmtDouble(r.sim.ipc(), 3),
+                   std::to_string(r.sim.cycles),
+                   fmtDouble(r.sim.mispredictsPer10kLoads(), 1),
+                   fmtPct(r.sim.pctLoadsDelayed())});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
 }
 
 } // anonymous namespace
@@ -77,6 +282,13 @@ main(int argc, char **argv)
     unsigned history_bits = 8;
     unsigned entries = 1024;
     std::uint64_t seed = 1;
+    bool sweep = false;
+    bool mode_set = false;
+    bool window_set = false;
+    bool windows_set = false;
+    bool history_set = false;
+    bool entries_set = false;
+    SweepOptions sweep_opt;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -94,6 +306,7 @@ main(int argc, char **argv)
             bench = next();
         } else if (arg == "--mode") {
             mode = next();
+            mode_set = true;
         } else if (arg == "--insts") {
             insts = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--warmup") {
@@ -101,6 +314,7 @@ main(int argc, char **argv)
             warmup_set = true;
         } else if (arg == "--window") {
             big_window = std::strtoul(next(), nullptr, 10) >= 256;
+            window_set = true;
         } else if (arg == "--no-delay") {
             delay = false;
         } else if (arg == "--no-svw") {
@@ -109,15 +323,58 @@ main(int argc, char **argv)
             history_bits =
                 static_cast<unsigned>(std::strtoul(next(),
                                                    nullptr, 10));
+            history_set = true;
         } else if (arg == "--entries") {
             entries = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
+            entries_set = true;
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sweep") {
+            sweep = true;
+        } else if (arg == "--jobs") {
+            sweep_opt.jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--suite") {
+            sweep_opt.suite = next();
+        } else if (arg == "--modes") {
+            sweep_opt.modes = next();
+        } else if (arg == "--windows") {
+            sweep_opt.windows = next();
+            windows_set = true;
+        } else if (arg == "--json") {
+            sweep_opt.json = true;
+        } else if (arg == "--out") {
+            sweep_opt.out_path = next();
         } else {
             usage();
             return arg == "--help" ? 0 : 1;
         }
+    }
+
+    if (sweep) {
+        sweep_opt.bench = bench;
+        sweep_opt.insts = insts;
+        if (warmup_set)
+            sweep_opt.warmup = warmup;
+        sweep_opt.seed = seed;
+        // Single-run flags narrow the sweep instead of being
+        // silently ignored (--modes/--windows take precedence).
+        if (mode_set && sweep_opt.modes.empty())
+            sweep_opt.modes = mode;
+        if (window_set && !windows_set)
+            sweep_opt.windows = big_window ? "256" : "128";
+        sweep_opt.delay = delay;
+        sweep_opt.svw = svw;
+        if (history_set) {
+            sweep_opt.history_set = true;
+            sweep_opt.history_bits = history_bits;
+        }
+        if (entries_set) {
+            sweep_opt.entries_set = true;
+            sweep_opt.entries = entries;
+        }
+        return runSweepMode(sweep_opt);
     }
 
     if (bench.empty()) {
@@ -132,15 +389,7 @@ main(int argc, char **argv)
     }
 
     LsuMode lsu;
-    if (mode == "perfect")
-        lsu = LsuMode::SqPerfect;
-    else if (mode == "storesets")
-        lsu = LsuMode::SqStoreSets;
-    else if (mode == "nosq")
-        lsu = LsuMode::Nosq;
-    else if (mode == "nosq-perfect")
-        lsu = LsuMode::NosqPerfect;
-    else {
+    if (!parseMode(mode, lsu)) {
         std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
         return 1;
     }
