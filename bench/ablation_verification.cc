@@ -6,13 +6,17 @@
  * data cache port that store commits share. The paper argues this
  * contention "overwhelms the benefit of the speculation itself";
  * this harness measures exactly that overhead on NoSQ.
+ *
+ * Both configurations of every benchmark run through the parallel
+ * sweep engine; worker count comes from NOSQ_JOBS.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/table.hh"
 #include "sim/experiment.hh"
-#include "workload/generator.hh"
+#include "sim/sweep.hh"
 #include "workload/profiles.hh"
 
 using namespace nosq;
@@ -20,28 +24,32 @@ using namespace nosq;
 int
 main()
 {
-    const std::uint64_t insts = defaultSimInsts();
-    const std::uint64_t warmup = insts / 3;
+    SweepSpec spec;
+    spec.benchmarks = selectedProfiles();
+    spec.configs.resize(2);
+    spec.configs[0].name = "nosq-svw";
+    spec.configs[0].mode = LsuMode::Nosq;
+    spec.configs[1].name = "nosq-reexec-all";
+    spec.configs[1].mode = LsuMode::Nosq;
+    spec.configs[1].tweak = [](UarchParams &p) {
+        p.svwFilter = false;
+    };
+    const std::size_t num_configs = spec.configs.size();
 
     std::printf("Ablation: SVW-filtered re-execution vs re-execute "
                 "everything (NoSQ)\n\n");
+
+    const std::vector<RunResult> results = runSweep(spec);
 
     TextTable table;
     table.header({"bench", "slowdown w/o SVW", "reexec% with",
                   "reexec% without", "backend reads x"});
 
     std::vector<double> slowdowns;
-    for (const auto *profile : selectedProfiles()) {
-        const Program program = synthesize(*profile, 1);
-
-        UarchParams with = makeParams(LsuMode::Nosq);
-        OooCore core_with(with, program);
-        const SimResult rw = core_with.run(insts, warmup);
-
-        UarchParams without = makeParams(LsuMode::Nosq);
-        without.svwFilter = false;
-        OooCore core_without(without, program);
-        const SimResult ro = core_without.run(insts, warmup);
+    for (std::size_t b = 0; b < spec.benchmarks.size(); ++b) {
+        const BenchmarkProfile &profile = *spec.benchmarks[b];
+        const SimResult &rw = sweepAt(results, num_configs, b, 0).sim;
+        const SimResult &ro = sweepAt(results, num_configs, b, 1).sim;
 
         const double slowdown =
             static_cast<double>(ro.cycles) / rw.cycles;
@@ -50,7 +58,7 @@ main()
             ? static_cast<double>(ro.dcacheReadsBackend) /
                 rw.dcacheReadsBackend
             : 0.0;
-        table.row({profile->name, fmtRatio(slowdown),
+        table.row({profile.name, fmtRatio(slowdown),
                    fmtDouble(100.0 * rw.reexecRate(), 2),
                    fmtDouble(100.0 * ro.reexecRate(), 2),
                    fmtDouble(reads_ratio, 0)});

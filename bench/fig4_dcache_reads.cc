@@ -8,6 +8,9 @@
  * Also reports the Section 4.5 claims: the re-execution rate
  * (paper: ~0.7% of loads) and the average cache-read reduction
  * (paper: ~9%).
+ *
+ * All runs execute through the parallel sweep engine; worker count
+ * comes from NOSQ_JOBS (default: hardware concurrency).
  */
 
 #include <cstdio>
@@ -17,7 +20,7 @@
 
 #include "common/table.hh"
 #include "sim/experiment.hh"
-#include "workload/generator.hh"
+#include "sim/sweep.hh"
 #include "workload/profiles.hh"
 
 using namespace nosq;
@@ -25,11 +28,15 @@ using namespace nosq;
 int
 main()
 {
-    const std::uint64_t insts = defaultSimInsts();
-    const std::uint64_t warmup = insts / 3;
+    SweepSpec spec;
+    spec.benchmarks = selectedProfiles();
+    spec.configs = cacheReadsConfigs();
+    const std::size_t num_configs = spec.configs.size();
 
     std::printf("Figure 4: data cache reads, NoSQ (delay) relative "
                 "to associative-SQ baseline\n\n");
+
+    const std::vector<RunResult> results = runSweep(spec);
 
     TextTable table;
     table.header({"bench", "core reads", "backend reads", "total",
@@ -53,21 +60,17 @@ main()
         rs.clear();
     };
 
-    for (const auto *profile : selectedProfiles()) {
-        if (!first && profile->suite != last_suite)
+    for (std::size_t b = 0; b < spec.benchmarks.size(); ++b) {
+        const BenchmarkProfile &profile = *spec.benchmarks[b];
+        if (!first && profile.suite != last_suite)
             flush_mean(last_suite);
         first = false;
-        last_suite = profile->suite;
+        last_suite = profile.suite;
 
-        const Program program = synthesize(*profile, 1);
-
-        UarchParams base_params = makeParams(LsuMode::SqStoreSets);
-        OooCore base_core(base_params, program);
-        const SimResult base = base_core.run(insts, warmup);
-
-        UarchParams nosq_params = makeParams(LsuMode::Nosq);
-        OooCore nosq_core(nosq_params, program);
-        const SimResult nosq = nosq_core.run(insts, warmup);
+        const SimResult &base =
+            sweepAt(results, num_configs, b, 0).sim;
+        const SimResult &nosq =
+            sweepAt(results, num_configs, b, 1).sim;
 
         const double base_reads = static_cast<double>(
             base.dcacheReadsCore + base.dcacheReadsBackend);
@@ -75,11 +78,11 @@ main()
         const double be_frac = nosq.dcacheReadsBackend / base_reads;
         const double reexec_pct = 100.0 * nosq.reexecRate();
 
-        table.row({profile->name, fmtRatio(core_frac),
+        table.row({profile.name, fmtRatio(core_frac),
                    fmtRatio(be_frac), fmtRatio(core_frac + be_frac),
                    fmtDouble(reexec_pct, 2)});
 
-        auto &rs = ratios[profile->suite];
+        auto &rs = ratios[profile.suite];
         if (rs.empty())
             rs.resize(4);
         rs[0].push_back(core_frac);

@@ -10,54 +10,56 @@
  *
  * Bottom (``--sweep=history``): 4, 6, 8, 10, and 12 path history
  * bits at 2K entries and at unbounded capacity.
+ *
+ * Both dimensions run through the parallel sweep engine as
+ * declarative SweepConfig points (predictorCapacityConfigs /
+ * predictorHistoryConfigs) against a SQ+perfect-scheduling baseline;
+ * worker count comes from NOSQ_JOBS.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hh"
 #include "sim/experiment.hh"
-#include "workload/generator.hh"
+#include "sim/sweep.hh"
 #include "workload/profiles.hh"
 
 using namespace nosq;
 
 namespace {
 
-SimResult
-runNosq(const Program &program, unsigned entries_per_table,
-        unsigned history_bits, bool unbounded, std::uint64_t insts,
-        std::uint64_t warmup)
-{
-    UarchParams p = makeParams(LsuMode::Nosq);
-    p.bypass.entriesPerTable = entries_per_table;
-    p.bypass.historyBits = history_bits;
-    p.bypass.unbounded = unbounded;
-    OooCore core(p, program);
-    return core.run(insts, warmup);
-}
-
 void
-sweepCapacity(std::uint64_t insts, std::uint64_t warmup)
+sweepCapacity()
 {
     std::printf("Figure 5 (top): predictor capacity sweep\n");
     std::printf("(total entries across both tables; relative to "
                 "assoc SQ + perfect scheduling)\n\n");
 
-    // Total capacities; entriesPerTable is half (equal split). The
-    // paper sweeps 512..Inf; the synthetic programs have roughly 10x
-    // fewer static loads than SPEC, so the capacity knee sits lower
-    // and the sweep extends down to 64 entries to expose it.
+    // Total capacities across both tables (equal split). The paper
+    // sweeps 512..Inf; the synthetic programs have roughly 10x fewer
+    // static loads than SPEC, so the capacity knee sits lower and
+    // the sweep extends down to 64 entries to expose it.
     const std::vector<std::pair<std::string, unsigned>> capacities =
-        {{"64", 32}, {"128", 64}, {"256", 128}, {"512", 256},
-         {"1K", 512}, {"2K", 1024}, {"4K", 2048}, {"Inf", 0}};
+        {{"64", 64}, {"128", 128}, {"256", 256}, {"512", 512},
+         {"1K", 1024}, {"2K", 2048}, {"4K", 4096}, {"Inf", 0}};
+
+    SweepSpec spec;
+    spec.benchmarks = selectedProfiles();
+    spec.configs.push_back(sqPerfectBaseline());
+    for (SweepConfig &config : predictorCapacityConfigs(capacities))
+        spec.configs.push_back(std::move(config));
+    const std::size_t num_configs = spec.configs.size();
+
+    const std::vector<RunResult> results = runSweep(spec);
 
     TextTable table;
     std::vector<std::string> head{"bench"};
-    for (const auto &[label, entries] : capacities)
+    for (const auto &[label, total] : capacities)
         head.push_back(label);
     table.header(head);
 
@@ -78,28 +80,24 @@ sweepCapacity(std::uint64_t insts, std::uint64_t warmup)
         rs.clear();
     };
 
-    for (const auto *profile : selectedProfiles()) {
-        if (!first && profile->suite != last_suite)
+    for (std::size_t b = 0; b < spec.benchmarks.size(); ++b) {
+        const BenchmarkProfile &profile = *spec.benchmarks[b];
+        if (!first && profile.suite != last_suite)
             flush_mean(last_suite);
         first = false;
-        last_suite = profile->suite;
+        last_suite = profile.suite;
 
-        const Program program = synthesize(*profile, 1);
-        UarchParams base_params = makeParams(LsuMode::SqPerfect);
-        OooCore base_core(base_params, program);
         const double base_cycles = static_cast<double>(
-            base_core.run(insts, warmup).cycles);
+            sweepAt(results, num_configs, b, 0).sim.cycles);
 
-        std::vector<std::string> row{profile->name};
-        auto &rs = ratios[profile->suite];
+        std::vector<std::string> row{profile.name};
+        auto &rs = ratios[profile.suite];
         if (rs.empty())
             rs.resize(capacities.size());
         for (std::size_t i = 0; i < capacities.size(); ++i) {
-            const auto &[label, entries] = capacities[i];
-            const SimResult r =
-                runNosq(program, entries ? entries : 1024, 8,
-                        entries == 0, insts, warmup);
-            const double rel = r.cycles / base_cycles;
+            const double rel =
+                sweepAt(results, num_configs, b, 1 + i).sim.cycles /
+                base_cycles;
             row.push_back(fmtRatio(rel));
             rs[i].push_back(rel);
         }
@@ -113,7 +111,7 @@ sweepCapacity(std::uint64_t insts, std::uint64_t warmup)
 }
 
 void
-sweepHistory(std::uint64_t insts, std::uint64_t warmup)
+sweepHistory()
 {
     std::printf("Figure 5 (bottom): path history length sweep\n");
     std::printf("(2K-entry predictor, with unbounded capacity in "
@@ -123,6 +121,18 @@ sweepHistory(std::uint64_t insts, std::uint64_t warmup)
     // the synthetic path-dependent patterns have shorter signatures
     // than SPEC's, putting the knee below 4 bits.
     const std::vector<unsigned> history_bits = {0, 2, 4, 8, 12};
+
+    SweepSpec spec;
+    spec.benchmarks = selectedProfiles();
+    spec.configs.push_back(sqPerfectBaseline());
+    // Interleaved bounded/unbounded pair per history length.
+    for (SweepConfig &config :
+         predictorHistoryConfigs(history_bits,
+                                 /*with_unbounded=*/true))
+        spec.configs.push_back(std::move(config));
+    const std::size_t num_configs = spec.configs.size();
+
+    const std::vector<RunResult> results = runSweep(spec);
 
     TextTable table;
     std::vector<std::string> head{"bench"};
@@ -149,31 +159,27 @@ sweepHistory(std::uint64_t insts, std::uint64_t warmup)
         rs.clear();
     };
 
-    for (const auto *profile : selectedProfiles()) {
-        if (!first && profile->suite != last_suite)
+    for (std::size_t b = 0; b < spec.benchmarks.size(); ++b) {
+        const BenchmarkProfile &profile = *spec.benchmarks[b];
+        if (!first && profile.suite != last_suite)
             flush_mean(last_suite);
         first = false;
-        last_suite = profile->suite;
+        last_suite = profile.suite;
 
-        const Program program = synthesize(*profile, 1);
-        UarchParams base_params = makeParams(LsuMode::SqPerfect);
-        OooCore base_core(base_params, program);
         const double base_cycles = static_cast<double>(
-            base_core.run(insts, warmup).cycles);
+            sweepAt(results, num_configs, b, 0).sim.cycles);
 
-        std::vector<std::string> row{profile->name};
-        auto &rs = ratios[profile->suite];
+        std::vector<std::string> row{profile.name};
+        auto &rs = ratios[profile.suite];
         if (rs.empty())
             rs.resize(2 * history_bits.size());
         for (std::size_t i = 0; i < history_bits.size(); ++i) {
-            const SimResult bounded = runNosq(
-                program, 1024, history_bits[i], false, insts,
-                warmup);
-            const SimResult unbounded = runNosq(
-                program, 1024, history_bits[i], true, insts,
-                warmup);
-            const double rb = bounded.cycles / base_cycles;
-            const double ru = unbounded.cycles / base_cycles;
+            const double rb =
+                sweepAt(results, num_configs, b, 1 + 2 * i)
+                    .sim.cycles / base_cycles;
+            const double ru =
+                sweepAt(results, num_configs, b, 2 + 2 * i)
+                    .sim.cycles / base_cycles;
             row.push_back(fmtRatio(rb) + " (" + fmtRatio(ru) + ")");
             rs[2 * i].push_back(rb);
             rs[2 * i + 1].push_back(ru);
@@ -192,9 +198,6 @@ sweepHistory(std::uint64_t insts, std::uint64_t warmup)
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t insts = defaultSimInsts();
-    const std::uint64_t warmup = insts / 3;
-
     bool capacity = true;
     bool history = true;
     for (int i = 1; i < argc; ++i) {
@@ -204,10 +207,10 @@ main(int argc, char **argv)
             capacity = false;
     }
     if (capacity)
-        sweepCapacity(insts, warmup);
+        sweepCapacity();
     if (capacity && history)
         std::printf("\n");
     if (history)
-        sweepHistory(insts, warmup);
+        sweepHistory();
     return 0;
 }

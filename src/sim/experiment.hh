@@ -25,6 +25,13 @@ struct RunResult
     Suite suite = Suite::Media;
     std::string config;
     SimResult sim;
+    /**
+     * False when the run did not complete (its sweep job threw) and
+     * @c sim holds no real statistics. The JSON reporter surfaces
+     * this so trajectory tooling can skip the run instead of
+     * ingesting zeros.
+     */
+    bool valid = true;
 };
 
 /** Simulation length control (overridable via NOSQ_SIM_INSTS). */

@@ -4,8 +4,164 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <map>
 
 namespace nosq {
+
+// --- reductions ------------------------------------------------------------
+
+namespace {
+
+constexpr const char *overall_group = "overall";
+
+/** Per-benchmark value series behind one reductions cell. */
+struct ReductionSeries
+{
+    std::size_t runs = 0;
+    std::vector<double> relTime;
+    std::vector<double> cacheReads;
+    std::vector<double> reexecRate;
+};
+
+MeanPair
+reduceSeries(const std::vector<double> &values)
+{
+    MeanPair m;
+    if (values.empty()) {
+        m.geomean = m.amean =
+            std::numeric_limits<double>::quiet_NaN();
+        return m;
+    }
+    m.geomean = geomean(values);
+    m.amean = amean(values);
+    return m;
+}
+
+double
+totalCacheReads(const SimResult &r)
+{
+    return static_cast<double>(r.dcacheReadsCore +
+                               r.dcacheReadsBackend);
+}
+
+/**
+ * The single validity predicate shared by the emitter and the
+ * reductions. Today ipc() is guarded against cycles == 0, so the
+ * finiteness check is pure defense-in-depth for future derived
+ * statistics; the flag effectively mirrors RunResult::valid.
+ */
+bool
+statsValid(const RunResult &r)
+{
+    return r.valid && std::isfinite(r.sim.ipc());
+}
+
+/**
+ * The "/wNNN" machine-size tail of a cross-product config name
+ * (crossConfigs() naming), or "" for single-machine configs.
+ * Relative series must never mix the paper's two machines, so a
+ * run's baseline is the baseline config on the run's own window.
+ */
+std::string
+windowSuffix(const std::string &config)
+{
+    const std::size_t at = config.rfind("/w");
+    if (at == std::string::npos || at + 2 >= config.size())
+        return "";
+    for (std::size_t i = at + 2; i < config.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(config[i])))
+            return "";
+    return config.substr(at);
+}
+
+/** @p config without its window suffix. */
+std::string
+configStem(const std::string &config)
+{
+    return config.substr(0,
+                         config.size() - windowSuffix(config).size());
+}
+
+} // anonymous namespace
+
+SweepReductions
+computeReductions(const std::vector<RunResult> &results,
+                  const std::string &baseline_config)
+{
+    SweepReductions red;
+    if (!baseline_config.empty())
+        red.baseline = baseline_config;
+    else if (!results.empty())
+        red.baseline = results.front().config;
+
+    // Baseline run per (benchmark, machine size), valid runs only:
+    // in a two-window cross sweep each run normalizes against the
+    // baseline mode on its own machine, matching the paper's
+    // within-machine normalization of Figures 2 and 3.
+    const std::string base_stem = configStem(red.baseline);
+    std::map<std::string, const RunResult *> baselines;
+    for (const RunResult &r : results)
+        if (statsValid(r) && configStem(r.config) == base_stem)
+            baselines.emplace(r.benchmark + '\0' +
+                              windowSuffix(r.config), &r);
+
+    // group -> config -> series, preserving first-appearance order.
+    std::vector<std::string> group_order;
+    std::map<std::string, std::vector<std::string>> config_order;
+    std::map<std::string,
+             std::map<std::string, ReductionSeries>> cells;
+
+    auto add = [&](const std::string &group, const RunResult &r) {
+        auto &group_cells = cells[group];
+        if (group_cells.empty() && group != overall_group)
+            group_order.push_back(group);
+        auto [it, inserted] =
+            group_cells.emplace(r.config, ReductionSeries());
+        if (inserted)
+            config_order[group].push_back(r.config);
+        ReductionSeries &series = it->second;
+        ++series.runs;
+        series.reexecRate.push_back(r.sim.reexecRate());
+        const auto base = baselines.find(
+            r.benchmark + '\0' + windowSuffix(r.config));
+        if (base == baselines.end())
+            return;
+        const SimResult &b = base->second->sim;
+        if (b.cycles > 0) {
+            series.relTime.push_back(
+                static_cast<double>(r.sim.cycles) / b.cycles);
+        }
+        if (totalCacheReads(b) > 0) {
+            series.cacheReads.push_back(totalCacheReads(r.sim) /
+                                        totalCacheReads(b));
+        }
+    };
+
+    for (const RunResult &r : results) {
+        if (!statsValid(r))
+            continue;
+        add(suiteName(r.suite), r);
+        add(overall_group, r);
+    }
+    if (cells.count(overall_group))
+        group_order.push_back(overall_group);
+
+    for (const std::string &group : group_order) {
+        std::vector<std::pair<std::string, ReductionStats>> configs;
+        for (const std::string &config : config_order[group]) {
+            const ReductionSeries &series = cells[group][config];
+            ReductionStats stats;
+            stats.runs = series.runs;
+            stats.relTime = reduceSeries(series.relTime);
+            stats.cacheReads = reduceSeries(series.cacheReads);
+            stats.reexecRate = reduceSeries(series.reexecRate);
+            configs.emplace_back(config, stats);
+        }
+        red.groups.emplace_back(group, std::move(configs));
+    }
+    return red;
+}
 
 // --- emission --------------------------------------------------------------
 
@@ -34,20 +190,13 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-namespace {
-
 std::string
-pad(int indent)
+jsonNumber(double v)
 {
-    return std::string(static_cast<std::size_t>(indent), ' ');
-}
-
-/** Shortest double representation that round-trips cleanly. */
-std::string
-numberToJson(double v)
-{
+    // JSON has no NaN/Inf; null marks the value as unusable instead
+    // of forging a finite one.
     if (!std::isfinite(v))
-        return "0";
+        return "null";
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     // Prefer a shorter form when it parses back exactly.
@@ -58,6 +207,14 @@ numberToJson(double v)
             return probe;
     }
     return buf;
+}
+
+namespace {
+
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<std::size_t>(indent), ' ');
 }
 
 struct Field
@@ -100,7 +257,7 @@ toJson(const SimResult &r, int indent)
         out += inner + '"' + f.key +
             "\": " + std::to_string(f.value) + ",\n";
     }
-    out += inner + "\"ipc\": " + numberToJson(r.ipc()) + "\n";
+    out += inner + "\"ipc\": " + jsonNumber(r.ipc()) + "\n";
     out += pad(indent) + "}";
     return out;
 }
@@ -108,6 +265,9 @@ toJson(const SimResult &r, int indent)
 std::string
 toJson(const RunResult &r, int indent)
 {
+    // Same predicate the reductions aggregate by: completed AND
+    // every derived statistic finite.
+    const bool valid = statsValid(r);
     const std::string inner = pad(indent + 2);
     std::string out = "{\n";
     out += inner + "\"benchmark\": \"" + jsonEscape(r.benchmark) +
@@ -115,24 +275,73 @@ toJson(const RunResult &r, int indent)
     out += inner + "\"suite\": \"" + jsonEscape(suiteName(r.suite)) +
         "\",\n";
     out += inner + "\"config\": \"" + jsonEscape(r.config) + "\",\n";
+    out += inner + "\"valid\": " + (valid ? "true" : "false") +
+        ",\n";
     out += inner + "\"stats\": " + toJson(r.sim, indent + 2) + "\n";
     out += pad(indent) + "}";
     return out;
 }
 
+namespace {
+
+std::string
+meanPairJson(const MeanPair &m)
+{
+    return "{\"geomean\": " + jsonNumber(m.geomean) +
+        ", \"amean\": " + jsonNumber(m.amean) + "}";
+}
+
+std::string
+reductionsJson(const SweepReductions &red, int indent)
+{
+    const std::string g_pad = pad(indent + 2);
+    const std::string c_pad = pad(indent + 4);
+    const std::string f_pad = pad(indent + 6);
+    std::string out = "{";
+    for (std::size_t g = 0; g < red.groups.size(); ++g) {
+        const auto &[group, configs] = red.groups[g];
+        out += g ? ",\n" : "\n";
+        out += g_pad + '"' + jsonEscape(group) + "\": {";
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const auto &[config, stats] = configs[c];
+            out += c ? ",\n" : "\n";
+            out += c_pad + '"' + jsonEscape(config) + "\": {\n";
+            out += f_pad + "\"runs\": " +
+                std::to_string(stats.runs) + ",\n";
+            out += f_pad + "\"rel_time\": " +
+                meanPairJson(stats.relTime) + ",\n";
+            out += f_pad + "\"cache_reads\": " +
+                meanPairJson(stats.cacheReads) + ",\n";
+            out += f_pad + "\"reexec_rate\": " +
+                meanPairJson(stats.reexecRate) + "\n";
+            out += c_pad + "}";
+        }
+        out += configs.empty() ? "}" : "\n" + g_pad + "}";
+    }
+    out += red.groups.empty() ? "}" : "\n" + pad(indent) + "}";
+    return out;
+}
+
+} // anonymous namespace
+
 std::string
 sweepReportJson(const std::vector<RunResult> &results,
-                std::uint64_t insts)
+                std::uint64_t insts,
+                const std::string &baseline_config)
 {
+    const SweepReductions red =
+        computeReductions(results, baseline_config);
     std::string out = "{\n";
-    out += "  \"schema\": \"nosq-sweep-v1\",\n";
+    out += "  \"schema\": \"nosq-sweep-v2\",\n";
     out += "  \"insts\": " + std::to_string(insts) + ",\n";
+    out += "  \"baseline\": \"" + jsonEscape(red.baseline) + "\",\n";
     out += "  \"runs\": [";
     for (std::size_t i = 0; i < results.size(); ++i) {
         out += i ? ",\n    " : "\n    ";
         out += toJson(results[i], 4);
     }
-    out += results.empty() ? "]\n" : "\n  ]\n";
+    out += results.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"reductions\": " + reductionsJson(red, 2) + "\n";
     out += "}\n";
     return out;
 }
@@ -410,6 +619,144 @@ parseJson(const std::string &text, JsonValue &out, std::string *error)
         error->clear();
     JsonParser parser(text, error);
     return parser.parse(out);
+}
+
+// --- schema validation -----------------------------------------------------
+
+namespace {
+
+/** Every key toJson(SimResult) emits. */
+constexpr const char *stat_keys[] = {
+    "cycles", "insts", "loads", "stores", "branches", "comm_loads",
+    "partial_comm_loads", "bypassed_loads", "shift_uops",
+    "delayed_loads", "bypass_mispredicts", "reexec_loads",
+    "load_flushes", "dcache_reads_core", "dcache_reads_backend",
+    "dcache_writes", "branch_mispredicts", "sq_forwards",
+    "sq_stalls", "ssn_wrap_drains", "ipc",
+};
+
+bool
+schemaFail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = "nosq-sweep-v2: " + message;
+    return false;
+}
+
+bool
+isNumberOrNull(const JsonValue &v)
+{
+    return v.kind == JsonValue::Kind::Number ||
+        v.kind == JsonValue::Kind::Null;
+}
+
+/** Check one {"geomean": num|null, "amean": num|null} pair. */
+bool
+validMeanPair(const JsonValue *pair)
+{
+    if (pair == nullptr || pair->kind != JsonValue::Kind::Object)
+        return false;
+    const JsonValue *g = pair->find("geomean");
+    const JsonValue *a = pair->find("amean");
+    return g && a && isNumberOrNull(*g) && isNumberOrNull(*a);
+}
+
+bool
+validRun(const JsonValue &run, std::size_t index, std::string *error)
+{
+    const auto where = "runs[" + std::to_string(index) + "]";
+    if (run.kind != JsonValue::Kind::Object)
+        return schemaFail(error, where + " is not an object");
+    for (const char *key : {"benchmark", "suite", "config"}) {
+        const JsonValue *v = run.find(key);
+        if (v == nullptr || v->kind != JsonValue::Kind::String)
+            return schemaFail(error, where + "." + key +
+                              " missing or not a string");
+    }
+    const std::string &suite = run.find("suite")->string;
+    if (suite != suiteName(Suite::Media) &&
+        suite != suiteName(Suite::Int) &&
+        suite != suiteName(Suite::Fp))
+        return schemaFail(error, where + ".suite unknown: '" +
+                          suite + "'");
+    const JsonValue *valid = run.find("valid");
+    if (valid == nullptr || valid->kind != JsonValue::Kind::Bool)
+        return schemaFail(error, where +
+                          ".valid missing or not a bool");
+    const JsonValue *stats = run.find("stats");
+    if (stats == nullptr || stats->kind != JsonValue::Kind::Object)
+        return schemaFail(error, where +
+                          ".stats missing or not an object");
+    for (const char *key : stat_keys) {
+        const JsonValue *v = stats->find(key);
+        if (v == nullptr || !isNumberOrNull(*v))
+            return schemaFail(error, where + ".stats." + key +
+                              " missing or not a number/null");
+    }
+    return true;
+}
+
+bool
+validReductions(const JsonValue &reductions, std::string *error)
+{
+    if (reductions.kind != JsonValue::Kind::Object)
+        return schemaFail(error, "reductions is not an object");
+    for (const auto &[group, configs] : reductions.object) {
+        const auto g_where = "reductions." + group;
+        if (configs.kind != JsonValue::Kind::Object)
+            return schemaFail(error, g_where + " is not an object");
+        for (const auto &[config, cell] : configs.object) {
+            const auto where = g_where + "." + config;
+            if (cell.kind != JsonValue::Kind::Object)
+                return schemaFail(error, where +
+                                  " is not an object");
+            const JsonValue *runs = cell.find("runs");
+            if (runs == nullptr ||
+                runs->kind != JsonValue::Kind::Number)
+                return schemaFail(error, where +
+                                  ".runs missing or not a number");
+            for (const char *key :
+                 {"rel_time", "cache_reads", "reexec_rate"}) {
+                if (!validMeanPair(cell.find(key)))
+                    return schemaFail(error, where + "." + key +
+                                      " missing or malformed");
+            }
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+validateSweepReport(const JsonValue &doc, std::string *error)
+{
+    if (doc.kind != JsonValue::Kind::Object)
+        return schemaFail(error, "document is not an object");
+    const JsonValue *schema = doc.find("schema");
+    if (schema == nullptr ||
+        schema->kind != JsonValue::Kind::String)
+        return schemaFail(error, "schema missing or not a string");
+    if (schema->string != "nosq-sweep-v2")
+        return schemaFail(error, "unexpected schema tag '" +
+                          schema->string + "'");
+    const JsonValue *insts = doc.find("insts");
+    if (insts == nullptr || insts->kind != JsonValue::Kind::Number)
+        return schemaFail(error, "insts missing or not a number");
+    const JsonValue *baseline = doc.find("baseline");
+    if (baseline == nullptr ||
+        baseline->kind != JsonValue::Kind::String)
+        return schemaFail(error, "baseline missing or not a string");
+    const JsonValue *runs = doc.find("runs");
+    if (runs == nullptr || runs->kind != JsonValue::Kind::Array)
+        return schemaFail(error, "runs missing or not an array");
+    for (std::size_t i = 0; i < runs->array.size(); ++i)
+        if (!validRun(runs->array[i], i, error))
+            return false;
+    const JsonValue *reductions = doc.find("reductions");
+    if (reductions == nullptr)
+        return schemaFail(error, "reductions missing");
+    return validReductions(*reductions, error);
 }
 
 } // namespace nosq

@@ -3,20 +3,22 @@
  * JSON stats reporting for sweep results.
  *
  * Serializes RunResult/SimResult to a stable, versioned schema
- * ("nosq-sweep-v1") so external tooling can track benchmark
+ * ("nosq-sweep-v2") so external tooling can track benchmark
  * trajectories (BENCH_*.json) across commits, plus a small
  * self-contained JSON parser used by tests and the CI smoke check to
  * validate emitted output without external dependencies.
  *
  * Schema:
  * {
- *   "schema": "nosq-sweep-v1",
+ *   "schema": "nosq-sweep-v2",
  *   "insts": <measured instructions per run>,
+ *   "baseline": "<config the reductions normalize against>",
  *   "runs": [
  *     {
  *       "benchmark": "gcc",
- *       "suite": "int",
+ *       "suite": "SPECint",
  *       "config": "nosq/w128",
+ *       "valid": true,
  *       "stats": {
  *         "cycles": ..., "insts": ..., "ipc": ...,
  *         "loads": ..., "stores": ..., "branches": ...,
@@ -29,8 +31,22 @@
  *         "sq_forwards": ..., "sq_stalls": ..., "ssn_wrap_drains": ...
  *       }
  *     }, ...
- *   ]
+ *   ],
+ *   "reductions": {
+ *     "<suite|overall>": {
+ *       "<config>": {
+ *         "runs": <runs aggregated>,
+ *         "rel_time": {"geomean": ..., "amean": ...},
+ *         "cache_reads": {"geomean": ..., "amean": ...},
+ *         "reexec_rate": {"geomean": ..., "amean": ...}
+ *       }, ...
+ *     }, ...
+ *   }
  * }
+ *
+ * Invalid runs (valid == false) carry all-zero stats and are
+ * excluded from every reduction. Non-finite statistics are emitted
+ * as JSON null, never as a fake finite number.
  */
 
 #ifndef NOSQ_SIM_REPORT_HH
@@ -45,10 +61,66 @@
 
 namespace nosq {
 
+// --- reductions ------------------------------------------------------------
+
+/** Geomean/amean pair over one per-benchmark series. */
+struct MeanPair
+{
+    double geomean = 0.0;
+    double amean = 0.0;
+};
+
+/** Per-configuration aggregates within one suite (or overall). */
+struct ReductionStats
+{
+    /** Valid runs aggregated into this cell. */
+    std::size_t runs = 0;
+    /** Execution time relative to the baseline config (NaN when the
+     * group has no usable baseline run). */
+    MeanPair relTime;
+    /** Total data cache reads relative to the baseline config. */
+    MeanPair cacheReads;
+    /** Absolute re-execution rate (re-executed loads / loads). */
+    MeanPair reexecRate;
+};
+
+/** Engine-computed per-suite and overall sweep reductions. */
+struct SweepReductions
+{
+    /** Config every relative series normalizes against. */
+    std::string baseline;
+    /** (suite name or "overall") -> (config -> stats), in first-
+     * appearance order; "overall" is always last. */
+    std::vector<std::pair<
+        std::string,
+        std::vector<std::pair<std::string, ReductionStats>>>> groups;
+};
+
+/**
+ * Reduce @p results per suite and overall. Relative series divide
+ * each benchmark's stat by the same benchmark's run under
+ * @p baseline_config (empty: the config of the first result). In a
+ * window cross-product (config names ending "/wNNN") each run
+ * normalizes against the baseline mode on its own machine size, so
+ * the two machines are never mixed. Invalid runs (failed or
+ * non-finite) and benchmarks without a valid baseline run are
+ * excluded; a cell with no usable data reduces to NaN.
+ */
+SweepReductions
+computeReductions(const std::vector<RunResult> &results,
+                  const std::string &baseline_config = "");
+
 // --- emission --------------------------------------------------------------
 
 /** Escape @p s for inclusion in a JSON string literal. */
 std::string jsonEscape(const std::string &s);
+
+/**
+ * Shortest round-tripping JSON literal for @p v. Non-finite values
+ * serialize as "null" -- JSON has no NaN/Inf, and rewriting them to
+ * a finite number would poison trajectory comparisons.
+ */
+std::string jsonNumber(double v);
 
 /** Serialize one SimResult as a JSON object. */
 std::string toJson(const SimResult &r, int indent = 0);
@@ -57,12 +129,16 @@ std::string toJson(const SimResult &r, int indent = 0);
 std::string toJson(const RunResult &r, int indent = 0);
 
 /**
- * Serialize a full sweep to the nosq-sweep-v1 schema.
+ * Serialize a full sweep to the nosq-sweep-v2 schema, reductions
+ * included.
  * @param insts the per-run measured instruction count recorded in
  *        the report header
+ * @param baseline_config reduction baseline (empty: the config of
+ *        the first result)
  */
 std::string sweepReportJson(const std::vector<RunResult> &results,
-                            std::uint64_t insts);
+                            std::uint64_t insts,
+                            const std::string &baseline_config = "");
 
 // --- parsing ---------------------------------------------------------------
 
@@ -100,6 +176,19 @@ struct JsonValue
  */
 bool parseJson(const std::string &text, JsonValue &out,
                std::string *error = nullptr);
+
+/**
+ * Validate a parsed document against the nosq-sweep-v2 schema:
+ * schema tag, header fields, per-run shape (benchmark/suite/config
+ * strings, valid flag, numeric-or-null stats), and the reductions
+ * section (per-group per-config cells with runs + the three
+ * geomean/amean pairs).
+ *
+ * @return true if valid; on failure @p error (if non-null) explains
+ *         the first violation
+ */
+bool validateSweepReport(const JsonValue &doc,
+                         std::string *error = nullptr);
 
 } // namespace nosq
 

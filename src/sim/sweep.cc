@@ -1,5 +1,6 @@
 #include "sim/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <thread>
@@ -87,6 +88,80 @@ crossConfigs(const std::vector<LsuMode> &modes,
     return configs;
 }
 
+SweepConfig
+sqPerfectBaseline()
+{
+    SweepConfig config;
+    config.name = "sq-perfect";
+    config.mode = LsuMode::SqPerfect;
+    return config;
+}
+
+std::vector<SweepConfig>
+cacheReadsConfigs()
+{
+    std::vector<SweepConfig> configs(2);
+    configs[0].name = "sq-storesets";
+    configs[0].mode = LsuMode::SqStoreSets;
+    configs[1].name = "nosq-delay";
+    configs[1].mode = LsuMode::Nosq;
+    return configs;
+}
+
+std::vector<SweepConfig>
+predictorCapacityConfigs(
+    const std::vector<std::pair<std::string, unsigned>> &capacities)
+{
+    std::vector<SweepConfig> configs;
+    configs.reserve(capacities.size());
+    for (const auto &[label, total] : capacities) {
+        SweepConfig config;
+        config.name = "cap-" + label;
+        config.mode = LsuMode::Nosq;
+        const bool unbounded = total == 0;
+        const unsigned per_table = total / 2;
+        config.tweak = [unbounded, per_table](UarchParams &p) {
+            if (unbounded) {
+                p.bypass.unbounded = true;
+                return;
+            }
+            // Equal split, clamped to the smallest geometry the
+            // predictor accepts (a whole set) so a tiny total never
+            // collapses into the unbounded sentinel or trips the
+            // entries-per-set assertion.
+            const unsigned assoc =
+                p.bypass.assoc ? p.bypass.assoc : 1;
+            p.bypass.entriesPerTable = per_table < assoc
+                ? assoc : per_table - per_table % assoc;
+        };
+        configs.push_back(std::move(config));
+    }
+    return configs;
+}
+
+std::vector<SweepConfig>
+predictorHistoryConfigs(const std::vector<unsigned> &history_bits,
+                        bool with_unbounded)
+{
+    std::vector<SweepConfig> configs;
+    configs.reserve(history_bits.size() * (with_unbounded ? 2 : 1));
+    for (const unsigned bits : history_bits) {
+        for (int unbounded = 0;
+             unbounded <= (with_unbounded ? 1 : 0); ++unbounded) {
+            SweepConfig config;
+            config.name = "hist-" + std::to_string(bits) + "b" +
+                (unbounded ? "-inf" : "");
+            config.mode = LsuMode::Nosq;
+            config.tweak = [bits, unbounded](UarchParams &p) {
+                p.bypass.historyBits = bits;
+                p.bypass.unbounded = unbounded;
+            };
+            configs.push_back(std::move(config));
+        }
+    }
+    return configs;
+}
+
 std::vector<SweepConfig>
 paperFigureConfigs(bool big_window)
 {
@@ -152,6 +227,22 @@ defaultSweepWorkers()
     return hw ? hw : 1;
 }
 
+SweepError::SweepError(std::vector<Failure> failures_,
+                       std::vector<RunResult> results_)
+    : std::runtime_error([&failures_] {
+          std::string msg = "sweep: " +
+              std::to_string(failures_.size()) + " job(s) failed:";
+          for (const Failure &f : failures_) {
+              msg += " [job " + std::to_string(f.index) + "] " +
+                  f.message + ";";
+          }
+          msg.pop_back();
+          return msg;
+      }()),
+      failed(std::move(failures_)), completed(std::move(results_))
+{
+}
+
 namespace {
 
 /**
@@ -163,13 +254,83 @@ RunResult
 runOne(const SweepJob &job)
 {
     RunResult result;
-    result.benchmark = job.profile->name;
-    result.suite = job.profile->suite;
+    result.benchmark = job.profile ? job.profile->name
+                                   : job.benchmark;
+    result.suite = job.profile ? job.profile->suite : job.suite;
     result.config = job.config;
+    if (job.runner) {
+        result.sim = job.runner(job);
+        return result;
+    }
+    nosq_assert(job.profile != nullptr,
+                "sweep job needs a profile or a custom runner");
     const Program program = synthesize(*job.profile, job.seed);
     OooCore core(job.params, program);
     result.sim = core.run(job.insts, job.warmup);
     return result;
+}
+
+/**
+ * Failure-isolation tracker shared by the serial and parallel
+ * execution paths: a throwing job is recorded (by index) instead of
+ * escaping -- on a worker thread an escaped exception would reach
+ * the thread body and std::terminate the whole process.
+ */
+class FailureLog
+{
+  public:
+    void
+    record(std::size_t index, std::string message)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        failures.push_back({index, std::move(message)});
+    }
+
+    /** Throw the SweepError summary if any job failed. */
+    void
+    throwIfFailed(std::vector<RunResult> &results)
+    {
+        if (failures.empty())
+            return;
+        std::sort(failures.begin(), failures.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.index < b.index;
+                  });
+        throw SweepError(std::move(failures), std::move(results));
+    }
+
+  private:
+    std::mutex mutex;
+    std::vector<SweepError::Failure> failures;
+};
+
+/** An identifiable invalid result for a job that threw. */
+RunResult
+failedResult(const SweepJob &job)
+{
+    RunResult result;
+    result.benchmark = job.profile ? job.profile->name
+                                   : job.benchmark;
+    result.suite = job.profile ? job.profile->suite : job.suite;
+    result.config = job.config;
+    result.valid = false;
+    return result;
+}
+
+/** runOne() with the per-job exception guard. */
+void
+runGuarded(const SweepJob &job, std::size_t index, RunResult &result,
+           FailureLog &log)
+{
+    try {
+        result = runOne(job);
+    } catch (const std::exception &e) {
+        log.record(index, e.what());
+        result = failedResult(job);
+    } catch (...) {
+        log.record(index, "unknown exception");
+        result = failedResult(job);
+    }
 }
 
 } // anonymous namespace
@@ -187,12 +348,15 @@ runSweep(const std::vector<SweepJob> &jobs, unsigned num_workers,
     if (num_workers > jobs.size())
         num_workers = static_cast<unsigned>(jobs.size());
 
+    FailureLog failures;
+
     if (num_workers <= 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            results[i] = runOne(jobs[i]);
+            runGuarded(jobs[i], i, results[i], failures);
             if (progress)
                 progress(i + 1, jobs.size());
         }
+        failures.throwIfFailed(results);
         return results;
     }
 
@@ -203,7 +367,7 @@ runSweep(const std::vector<SweepJob> &jobs, unsigned num_workers,
     auto worker = [&] {
         std::size_t index;
         while (queue.pop(index)) {
-            results[index] = runOne(jobs[index]);
+            runGuarded(jobs[index], index, results[index], failures);
             if (progress) {
                 // Increment under the same lock as the callback so
                 // reported counts are monotonic across workers.
@@ -224,6 +388,7 @@ runSweep(const std::vector<SweepJob> &jobs, unsigned num_workers,
     queue.close();
     for (auto &thread : pool)
         thread.join();
+    failures.throwIfFailed(results);
     return results;
 }
 

@@ -26,7 +26,9 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ooo/uarch_params.hh"
@@ -35,6 +37,18 @@
 
 namespace nosq {
 
+struct SweepJob;
+
+/**
+ * Optional per-job override of the default synthesize+OooCore
+ * pipeline. Trace-driven studies (the predictor and SSBF ablations)
+ * use this to run their own analysis through the engine's worker
+ * pool; the returned SimResult carries whatever counters the study
+ * reports. The same determinism contract applies: the result must
+ * depend only on the job tuple.
+ */
+using SweepRunner = std::function<SimResult(const SweepJob &)>;
+
 /** One unit of sweep work: a benchmark under one configuration. */
 struct SweepJob
 {
@@ -42,9 +56,56 @@ struct SweepJob
     UarchParams params;
     /** Stable configuration label carried into the RunResult. */
     std::string config;
+    /**
+     * Benchmark label and suite for custom-runner jobs whose
+     * workload is not a BenchmarkProfile (profile == nullptr);
+     * ignored when @c profile is set.
+     */
+    std::string benchmark;
+    Suite suite = Suite::Media;
     std::uint64_t seed = 1;
     std::uint64_t insts = 0;
     std::uint64_t warmup = 0;
+    /** Custom runner; empty runs the default pipeline. */
+    SweepRunner runner;
+};
+
+/**
+ * Thrown by runSweep() after every job has been attempted when at
+ * least one job threw. Worker threads never terminate the process:
+ * each failure is caught per job, recorded with its job index, and
+ * the remaining jobs still run. The completed results (failed slots
+ * are default-constructed with valid == false) are carried here so
+ * callers can salvage the rest of the sweep.
+ */
+class SweepError : public std::runtime_error
+{
+  public:
+    struct Failure
+    {
+        std::size_t index;
+        std::string message;
+    };
+
+    SweepError(std::vector<Failure> failures_,
+               std::vector<RunResult> results_);
+
+    const std::vector<Failure> &
+    failures() const
+    {
+        return failed;
+    }
+
+    /** All job results, ordered by job index. */
+    const std::vector<RunResult> &
+    results() const
+    {
+        return completed;
+    }
+
+  private:
+    std::vector<Failure> failed;
+    std::vector<RunResult> completed;
 };
 
 /**
@@ -109,6 +170,38 @@ std::vector<SweepConfig> crossConfigs(
  */
 std::vector<SweepConfig> paperFigureConfigs(bool big_window);
 
+/**
+ * The SQ + perfect-scheduling normalization baseline
+ * ("sq-perfect"): first bar of Figures 2/3 and the baseline of both
+ * Figure 5 dimensions.
+ */
+SweepConfig sqPerfectBaseline();
+
+/**
+ * Figure 4's configuration pair: the associative-SQ baseline
+ * ("sq-storesets") followed by NoSQ with delay ("nosq-delay").
+ */
+std::vector<SweepConfig> cacheReadsConfigs();
+
+/**
+ * Figure 5 (top) dimension: NoSQ configurations sweeping total
+ * bypassing-predictor capacity. Each point is (label, total entries
+ * across both tables, split equally); 0 entries means unbounded
+ * capacity (the "Inf" point, which keeps the default 2K storage for
+ * its tables). Config names are "cap-<label>".
+ */
+std::vector<SweepConfig> predictorCapacityConfigs(
+    const std::vector<std::pair<std::string, unsigned>> &capacities);
+
+/**
+ * Figure 5 (bottom) dimension: NoSQ configurations sweeping path
+ * history length at the default 2K-entry capacity. With
+ * @p with_unbounded, each bounded point "hist-<bits>b" is followed
+ * by its unbounded-capacity twin "hist-<bits>b-inf".
+ */
+std::vector<SweepConfig> predictorHistoryConfigs(
+    const std::vector<unsigned> &history_bits, bool with_unbounded);
+
 // --- execution -------------------------------------------------------------
 
 /**
@@ -148,10 +241,18 @@ unsigned defaultSweepWorkers();
 /**
  * Run every job and return results ordered by job index.
  *
+ * Failure isolation: a job that throws never takes down the sweep
+ * (or, on a worker thread, the process). The exception is caught per
+ * job, the remaining jobs still run, and after all workers join a
+ * SweepError summarizing every failure -- and carrying the partial
+ * results -- is thrown. The serial (num_workers <= 1) path behaves
+ * identically.
+ *
  * @param num_workers worker threads (0: defaultSweepWorkers());
  *        clamped to the job count; 1 runs inline on the caller
  * @param progress optional completion callback, serialized by the
  *        engine (at most one invocation at a time)
+ * @throws SweepError if any job threw
  */
 std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs,
                                 unsigned num_workers = 0,

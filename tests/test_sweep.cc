@@ -2,12 +2,17 @@
  * @file
  * Tests for the parallel sweep engine and the JSON reporter:
  * parallel/serial bit-identity, result ordering, the declarative
- * cross-product builders, and JSON emission/round-trip.
+ * cross-product builders, per-job failure isolation, JSON
+ * emission/round-trip, the engine-computed reductions, and the
+ * strict nosq-sweep-v2 validator.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -166,6 +171,120 @@ TEST(JobQueue, BlockedConsumerWakesOnPush)
     EXPECT_TRUE(got);
 }
 
+// --- failure isolation and custom runners ----------------------------------
+
+/** Three custom-runner jobs; the middle one throws. */
+std::vector<SweepJob>
+oneThrowingJobList()
+{
+    std::vector<SweepJob> jobs;
+    for (std::size_t i = 0; i < 3; ++i) {
+        SweepJob job;
+        job.benchmark = "job" + std::to_string(i);
+        job.config = "cfg";
+        job.runner = [i](const SweepJob &) -> SimResult {
+            if (i == 1)
+                throw std::runtime_error("boom");
+            SimResult sim;
+            sim.cycles = 100 + i;
+            sim.insts = 10;
+            return sim;
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+void
+expectIsolatedFailure(const std::vector<SweepJob> &jobs,
+                      unsigned num_workers)
+{
+    try {
+        runSweep(jobs, num_workers);
+        FAIL() << "expected SweepError";
+    } catch (const SweepError &e) {
+        // The summary names the failing job and its reason.
+        ASSERT_EQ(e.failures().size(), 1u);
+        EXPECT_EQ(e.failures()[0].index, 1u);
+        EXPECT_NE(e.failures()[0].message.find("boom"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("job 1"),
+                  std::string::npos);
+        // The other jobs still ran to completion.
+        ASSERT_EQ(e.results().size(), 3u);
+        EXPECT_TRUE(e.results()[0].valid);
+        EXPECT_EQ(e.results()[0].sim.cycles, 100u);
+        EXPECT_FALSE(e.results()[1].valid);
+        EXPECT_EQ(e.results()[1].benchmark, "job1");
+        EXPECT_TRUE(e.results()[2].valid);
+        EXPECT_EQ(e.results()[2].sim.cycles, 102u);
+    }
+}
+
+TEST(Sweep, ThrowingJobIsIsolatedInParallel)
+{
+    expectIsolatedFailure(oneThrowingJobList(), 3);
+}
+
+TEST(Sweep, ThrowingJobIsIsolatedInSerial)
+{
+    expectIsolatedFailure(oneThrowingJobList(), 1);
+}
+
+TEST(Sweep, CustomRunnerCarriesLabelAndStats)
+{
+    SweepJob job;
+    job.benchmark = "trace-study";
+    job.suite = Suite::Fp;
+    job.config = "variant-a";
+    job.insts = 1234;
+    job.runner = [](const SweepJob &j) {
+        SimResult sim;
+        sim.loads = j.insts;
+        sim.bypassMispredicts = 7;
+        return sim;
+    };
+    const std::vector<RunResult> results = runSweep({job}, 1);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].valid);
+    EXPECT_EQ(results[0].benchmark, "trace-study");
+    EXPECT_EQ(results[0].suite, Suite::Fp);
+    EXPECT_EQ(results[0].config, "variant-a");
+    EXPECT_EQ(results[0].sim.loads, 1234u);
+    EXPECT_EQ(results[0].sim.bypassMispredicts, 7u);
+}
+
+TEST(Sweep, PredictorGeometryConfigs)
+{
+    const auto caps = predictorCapacityConfigs(
+        {{"512", 512}, {"1", 1}, {"Inf", 0}});
+    ASSERT_EQ(caps.size(), 3u);
+    EXPECT_EQ(caps[0].name, "cap-512");
+    EXPECT_EQ(caps[0].materialize().bypass.entriesPerTable, 256u);
+    EXPECT_FALSE(caps[0].materialize().bypass.unbounded);
+    // A tiny total clamps to one predictor set, never to the
+    // unbounded sentinel.
+    const UarchParams tiny = caps[1].materialize();
+    EXPECT_FALSE(tiny.bypass.unbounded);
+    EXPECT_EQ(tiny.bypass.entriesPerTable, tiny.bypass.assoc);
+    EXPECT_EQ(caps[2].name, "cap-Inf");
+    EXPECT_TRUE(caps[2].materialize().bypass.unbounded);
+
+    const auto hist = predictorHistoryConfigs({4, 12}, true);
+    ASSERT_EQ(hist.size(), 4u);
+    EXPECT_EQ(hist[0].name, "hist-4b");
+    EXPECT_EQ(hist[0].materialize().bypass.historyBits, 4u);
+    EXPECT_FALSE(hist[0].materialize().bypass.unbounded);
+    EXPECT_EQ(hist[1].name, "hist-4b-inf");
+    EXPECT_TRUE(hist[1].materialize().bypass.unbounded);
+    EXPECT_EQ(hist[3].name, "hist-12b-inf");
+    EXPECT_EQ(hist[3].materialize().bypass.historyBits, 12u);
+
+    const auto bounded_only = predictorHistoryConfigs({6, 8}, false);
+    ASSERT_EQ(bounded_only.size(), 2u);
+    EXPECT_EQ(bounded_only[1].name, "hist-8b");
+}
+
 TEST(SweepProgress, ReportsEveryCompletion)
 {
     const std::vector<SweepJob> jobs = smallJobList();
@@ -222,6 +341,40 @@ TEST(Report, ParserRejectsMalformedInput)
     EXPECT_FALSE(parseJson("[+1]", v));
     EXPECT_FALSE(parseJson("[1.]", v));
     EXPECT_FALSE(parseJson("[007]", v));
+    // strtod also accepts these; the JSON number grammar must not.
+    EXPECT_FALSE(parseJson("[inf]", v));
+    EXPECT_FALSE(parseJson("[-inf]", v));
+    EXPECT_FALSE(parseJson("[nan]", v));
+    EXPECT_FALSE(parseJson("[NaN]", v));
+    EXPECT_FALSE(parseJson("[0x10]", v));
+    EXPECT_FALSE(parseJson("[.5]", v));
+}
+
+TEST(Report, NonFiniteNumbersEmitNull)
+{
+    EXPECT_EQ(jsonNumber(
+        std::numeric_limits<double>::quiet_NaN()), "null");
+    EXPECT_EQ(jsonNumber(
+        std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(jsonNumber(
+        -std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(0.0), "0");
+}
+
+TEST(Report, InvalidRunIsFlaggedNotFaked)
+{
+    RunResult failed;
+    failed.benchmark = "gcc";
+    failed.config = "nosq/w128";
+    failed.valid = false;
+
+    JsonValue run;
+    std::string error;
+    ASSERT_TRUE(parseJson(toJson(failed), run, &error)) << error;
+    ASSERT_NE(run.find("valid"), nullptr);
+    EXPECT_EQ(run.find("valid")->kind, JsonValue::Kind::Bool);
+    EXPECT_FALSE(run.find("valid")->boolean);
 }
 
 TEST(Report, SweepReportRoundTripsKeyFields)
@@ -234,9 +387,12 @@ TEST(Report, SweepReportRoundTripsKeyFields)
     JsonValue doc;
     std::string error;
     ASSERT_TRUE(parseJson(report, doc, &error)) << error;
+    EXPECT_TRUE(validateSweepReport(doc, &error)) << error;
 
-    EXPECT_EQ(doc.find("schema")->string, "nosq-sweep-v1");
+    EXPECT_EQ(doc.find("schema")->string, "nosq-sweep-v2");
     EXPECT_EQ(doc.find("insts")->asU64(), test_insts);
+    // Default baseline: the first result's configuration.
+    EXPECT_EQ(doc.find("baseline")->string, results[0].config);
 
     const JsonValue *runs = doc.find("runs");
     ASSERT_NE(runs, nullptr);
@@ -247,6 +403,7 @@ TEST(Report, SweepReportRoundTripsKeyFields)
         EXPECT_EQ(run.find("benchmark")->string, r.benchmark);
         EXPECT_EQ(run.find("suite")->string, suiteName(r.suite));
         EXPECT_EQ(run.find("config")->string, r.config);
+        EXPECT_TRUE(run.find("valid")->boolean);
         const JsonValue *stats = run.find("stats");
         ASSERT_NE(stats, nullptr);
         EXPECT_EQ(stats->find("cycles")->asU64(), r.sim.cycles);
@@ -267,7 +424,225 @@ TEST(Report, EmptySweepIsValidJson)
     std::string error;
     ASSERT_TRUE(parseJson(sweepReportJson({}, 0), doc, &error))
         << error;
+    EXPECT_TRUE(validateSweepReport(doc, &error)) << error;
     EXPECT_EQ(doc.find("runs")->array.size(), 0u);
+}
+
+// --- reductions ------------------------------------------------------------
+
+RunResult
+makeRun(const char *bench, Suite suite, const char *config,
+        std::uint64_t cycles, std::uint64_t reads_core,
+        std::uint64_t reads_backend, std::uint64_t loads,
+        std::uint64_t reexec)
+{
+    RunResult r;
+    r.benchmark = bench;
+    r.suite = suite;
+    r.config = config;
+    r.sim.cycles = cycles;
+    r.sim.insts = 1000;
+    r.sim.dcacheReadsCore = reads_core;
+    r.sim.dcacheReadsBackend = reads_backend;
+    r.sim.loads = loads;
+    r.sim.reexecLoads = reexec;
+    return r;
+}
+
+/** 2 benchmarks (different suites) x {base, nosq}, chosen so every
+ * reduction has a closed-form hand-computed value. */
+std::vector<RunResult>
+handResults()
+{
+    return {
+        makeRun("a", Suite::Media, "base", 100, 40, 10, 200, 2),
+        makeRun("a", Suite::Media, "nosq", 110, 30, 10, 200, 4),
+        makeRun("b", Suite::Int, "base", 200, 90, 10, 400, 0),
+        makeRun("b", Suite::Int, "nosq", 240, 70, 10, 400, 8),
+    };
+}
+
+TEST(Report, ReductionsMatchHandComputedMeans)
+{
+    const SweepReductions red =
+        computeReductions(handResults(), "base");
+    EXPECT_EQ(red.baseline, "base");
+
+    // Groups: MediaBench, SPECint, overall (in that order).
+    ASSERT_EQ(red.groups.size(), 3u);
+    EXPECT_EQ(red.groups[0].first, suiteName(Suite::Media));
+    EXPECT_EQ(red.groups[1].first, suiteName(Suite::Int));
+    EXPECT_EQ(red.groups[2].first, "overall");
+
+    const auto &overall = red.groups[2].second;
+    ASSERT_EQ(overall.size(), 2u);
+    EXPECT_EQ(overall[0].first, "base");
+    const ReductionStats &base = overall[0].second;
+    EXPECT_EQ(base.runs, 2u);
+    EXPECT_DOUBLE_EQ(base.relTime.geomean, 1.0);
+    EXPECT_DOUBLE_EQ(base.relTime.amean, 1.0);
+
+    // nosq relative time: a: 110/100 = 1.1, b: 240/200 = 1.2.
+    const ReductionStats &nosq = overall[1].second;
+    EXPECT_EQ(nosq.runs, 2u);
+    EXPECT_DOUBLE_EQ(nosq.relTime.amean, (1.1 + 1.2) / 2);
+    EXPECT_NEAR(nosq.relTime.geomean, std::sqrt(1.1 * 1.2), 1e-12);
+    // Cache reads: a: 40/50 = 0.8, b: 80/100 = 0.8.
+    EXPECT_DOUBLE_EQ(nosq.cacheReads.amean, 0.8);
+    EXPECT_NEAR(nosq.cacheReads.geomean, 0.8, 1e-12);
+    // Re-execution rate (absolute): a: 4/200, b: 8/400.
+    EXPECT_DOUBLE_EQ(nosq.reexecRate.amean, 0.02);
+    EXPECT_NEAR(nosq.reexecRate.geomean, 0.02, 1e-12);
+
+    // Per-suite cells hold exactly their own benchmark.
+    const auto &media = red.groups[0].second;
+    ASSERT_EQ(media.size(), 2u);
+    EXPECT_EQ(media[1].second.runs, 1u);
+    EXPECT_NEAR(media[1].second.relTime.geomean, 1.1, 1e-12);
+    EXPECT_DOUBLE_EQ(media[1].second.relTime.amean, 1.1);
+}
+
+TEST(Report, ReductionsNormalizeWithinEachMachineSize)
+{
+    // Two-window cross sweep: each run must divide by the baseline
+    // mode on its OWN machine, never by the other window's run.
+    const std::vector<RunResult> results = {
+        makeRun("a", Suite::Media, "perfect/w128", 100, 50, 0, 100,
+                0),
+        makeRun("a", Suite::Media, "nosq/w128", 110, 40, 0, 100, 0),
+        makeRun("a", Suite::Media, "perfect/w256", 80, 50, 0, 100,
+                0),
+        makeRun("a", Suite::Media, "nosq/w256", 88, 40, 0, 100, 0),
+    };
+    const SweepReductions red =
+        computeReductions(results, "perfect/w128");
+
+    const auto &overall = red.groups.back().second;
+    ASSERT_EQ(overall.size(), 4u);
+    // The w256 baseline mode is 1.0 on its own machine...
+    EXPECT_EQ(overall[2].first, "perfect/w256");
+    EXPECT_DOUBLE_EQ(overall[2].second.relTime.amean, 1.0);
+    // ...and nosq/w256 normalizes against perfect/w256 (88/80).
+    EXPECT_EQ(overall[3].first, "nosq/w256");
+    EXPECT_DOUBLE_EQ(overall[3].second.relTime.amean, 1.1);
+    EXPECT_DOUBLE_EQ(overall[1].second.relTime.amean, 1.1);
+}
+
+TEST(Report, ReductionsExcludeInvalidAndBaselineLessRuns)
+{
+    std::vector<RunResult> results = handResults();
+    results[1].valid = false; // a/nosq failed
+    // c has no baseline run at all.
+    results.push_back(
+        makeRun("c", Suite::Fp, "nosq", 300, 50, 0, 100, 1));
+
+    const SweepReductions red = computeReductions(results, "base");
+    const auto &overall = red.groups.back().second;
+    ASSERT_EQ(overall.back().first, "nosq");
+    const ReductionStats &nosq = overall.back().second;
+    // b/nosq and c/nosq are valid, but only b has a baseline.
+    EXPECT_EQ(nosq.runs, 2u);
+    EXPECT_NEAR(nosq.relTime.geomean, 1.2, 1e-12);
+    // Absolute series still cover both valid runs.
+    EXPECT_DOUBLE_EQ(nosq.reexecRate.amean,
+                     (8.0 / 400 + 1.0 / 100) / 2);
+}
+
+TEST(Report, ReductionsWithNoBaselineEmitNullNotZero)
+{
+    // A baseline run that never completed: every relative series is
+    // empty, so the v2 report must carry null, not a fake number.
+    std::vector<RunResult> results = {
+        makeRun("a", Suite::Media, "nosq", 110, 40, 10, 200, 2),
+    };
+    const std::string report =
+        sweepReportJson(results, 1000, "base");
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(report, doc, &error)) << error;
+    EXPECT_TRUE(validateSweepReport(doc, &error)) << error;
+
+    const JsonValue *cell = doc.find("reductions");
+    ASSERT_NE(cell, nullptr);
+    cell = cell->find("overall");
+    ASSERT_NE(cell, nullptr);
+    cell = cell->find("nosq");
+    ASSERT_NE(cell, nullptr);
+    const JsonValue *rel = cell->find("rel_time");
+    ASSERT_NE(rel, nullptr);
+    EXPECT_EQ(rel->find("geomean")->kind, JsonValue::Kind::Null);
+    EXPECT_EQ(rel->find("amean")->kind, JsonValue::Kind::Null);
+    // The absolute re-execution rate is still real.
+    EXPECT_EQ(cell->find("reexec_rate")->find("amean")->kind,
+              JsonValue::Kind::Number);
+}
+
+// --- schema validation -----------------------------------------------------
+
+TEST(Report, ValidatorAcceptsEmittedReports)
+{
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(sweepReportJson(handResults(), 1000,
+                                          "base"), doc, &error))
+        << error;
+    EXPECT_TRUE(validateSweepReport(doc, &error)) << error;
+}
+
+TEST(Report, ValidatorRejectsSchemaViolations)
+{
+    const std::string good =
+        sweepReportJson(handResults(), 1000, "base");
+    std::string error;
+
+    auto rejects = [&error](const std::string &text) {
+        JsonValue doc;
+        if (!parseJson(text, doc, &error))
+            return true; // strict parse already failed
+        return !validateSweepReport(doc, &error);
+    };
+
+    // Wrong schema tag.
+    std::string v1 = good;
+    v1.replace(v1.find("nosq-sweep-v2"),
+               std::string("nosq-sweep-v2").size(),
+               "nosq-sweep-v1");
+    EXPECT_TRUE(rejects(v1));
+
+    // Missing reductions / runs / baseline.
+    EXPECT_TRUE(rejects("{\"schema\": \"nosq-sweep-v2\", "
+                        "\"insts\": 1, \"baseline\": \"b\", "
+                        "\"runs\": []}"));
+    EXPECT_TRUE(rejects("{\"schema\": \"nosq-sweep-v2\", "
+                        "\"insts\": 1, \"baseline\": \"b\", "
+                        "\"reductions\": {}}"));
+    EXPECT_TRUE(rejects("{\"schema\": \"nosq-sweep-v2\", "
+                        "\"insts\": 1, \"runs\": [], "
+                        "\"reductions\": {}}"));
+
+    // A run missing the valid flag or a stat key.
+    std::string no_valid = good;
+    const auto at = no_valid.find("\"valid\"");
+    no_valid.replace(at, std::string("\"valid\"").size(),
+                     "\"velid\"");
+    EXPECT_TRUE(rejects(no_valid));
+    std::string no_cycles = good;
+    no_cycles.replace(no_cycles.find("\"cycles\""),
+                      std::string("\"cycles\"").size(),
+                      "\"cicles\"");
+    EXPECT_TRUE(rejects(no_cycles));
+
+    // A reductions cell missing one mean pair.
+    std::string no_rel = good;
+    no_rel.replace(no_rel.find("\"rel_time\""),
+                   std::string("\"rel_time\"").size(),
+                   "\"rel_tyme\"");
+    EXPECT_TRUE(rejects(no_rel));
+
+    // Not silently tolerant of a malformed document shape.
+    EXPECT_TRUE(rejects("[]"));
+    EXPECT_TRUE(rejects("{\"schema\": 2}"));
 }
 
 } // anonymous namespace

@@ -14,12 +14,19 @@
  *   nosq_sim --sweep --jobs 8 --json
  *   nosq_sim --sweep --suite int --modes nosq,storesets \
  *            --windows 128,256 --json --out sweep.json
+ *   nosq_sim --sweep=capacity --bench gcc,g721.e \
+ *            --capacities 512,2K,Inf --json
+ *   nosq_sim --sweep=history --suite int --json
+ *   nosq_sim --sweep=cache-reads --json --out fig4.json
+ *   nosq_sim --validate sweep.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hh"
@@ -58,22 +65,46 @@ usage()
         "sweep mode:\n"
         "  --sweep               run a modes x windows x benchmarks\n"
         "                        cross-product in parallel\n"
+        "  --sweep=capacity      Fig. 5 (top) dimension: NoSQ over\n"
+        "                        total predictor capacities vs a\n"
+        "                        SQ+perfect baseline\n"
+        "  --sweep=history       Fig. 5 (bottom) dimension: NoSQ\n"
+        "                        over path-history lengths (bounded\n"
+        "                        and unbounded capacity) vs a\n"
+        "                        SQ+perfect baseline\n"
+        "  --sweep=cache-reads   Fig. 4 pair: NoSQ vs the\n"
+        "                        associative-SQ baseline\n"
         "  --jobs N              worker threads (default: NOSQ_JOBS\n"
         "                        env, else hardware concurrency)\n"
         "  --suite NAME          media | int | fp | selected | all\n"
         "                        (default: selected)\n"
-        "  --modes LIST          comma-separated mode list\n"
-        "                        (default: all four modes, or\n"
+        "  --bench LIST          restrict the sweep to these\n"
+        "                        benchmarks (comma-separated)\n"
+        "  --modes LIST          comma-separated mode list, --sweep\n"
+        "                        only (default: all four modes, or\n"
         "                        --mode when given)\n"
         "  --windows LIST        comma-separated window sizes, each\n"
-        "                        128 or 256 (default: 128,256, or\n"
-        "                        --window when given)\n"
-        "  --json                emit the nosq-sweep-v1 JSON report\n"
-        "                        to stdout instead of a table\n"
+        "                        128 or 256 (--sweep default:\n"
+        "                        128,256 or --window when given;\n"
+        "                        dimension sweeps take exactly one,\n"
+        "                        default 128)\n"
+        "  --capacities LIST     --sweep=capacity points: total\n"
+        "                        entries, K suffix allowed, Inf for\n"
+        "                        unbounded (default\n"
+        "                        64,128,256,512,1K,2K,4K,Inf)\n"
+        "  --json                emit the nosq-sweep-v2 JSON report\n"
+        "                        (runs + per-suite reductions) to\n"
+        "                        stdout instead of a table\n"
         "  --out FILE            write the JSON report to FILE (the\n"
         "                        table still prints without --json)\n"
         "  (--no-delay, --no-svw, --history, --entries apply to\n"
-        "   every sweep configuration)\n");
+        "   every sweep configuration; the swept dimension wins on\n"
+        "   its own knob, and --history takes a comma list as the\n"
+        "   --sweep=history points)\n"
+        "validation mode:\n"
+        "  --validate FILE       strict-parse FILE and check it\n"
+        "                        against the nosq-sweep-v2 schema;\n"
+        "                        exits nonzero on any violation\n");
 }
 
 void
@@ -122,12 +153,20 @@ splitList(const std::string &list)
     return items;
 }
 
+/** Which family of configurations a sweep invocation runs. */
+enum class SweepKind { Cross, Capacity, History, CacheReads };
+
 struct SweepOptions
 {
+    SweepKind kind = SweepKind::Cross;
     std::string suite = "selected";
     std::string bench;
     std::string modes;
     std::string windows = "128,256";
+    bool windows_explicit = false;
+    std::string capacities = "64,128,256,512,1K,2K,4K,Inf";
+    bool capacities_explicit = false;
+    std::string history_list;
     std::uint64_t insts = 0;
     std::uint64_t warmup = ~std::uint64_t(0);
     std::uint64_t seed = 1;
@@ -143,6 +182,67 @@ struct SweepOptions
     unsigned entries = 1024;
 };
 
+/**
+ * Strictly parse an unsigned decimal value: no sign, no trailing
+ * garbage (strtoul alone would coerce "abc" to 0).
+ * @return false on a malformed value
+ */
+bool
+parseUnsigned(const std::string &value, unsigned long &out)
+{
+    char *end = nullptr;
+    out = std::strtoul(value.c_str(), &end, 10);
+    return end != value.c_str() && *end == '\0';
+}
+
+/**
+ * Parse a window size: only the paper's two machines exist, so
+ * anything but 128 or 256 is rejected, never silently coerced.
+ * @return false on a malformed or unsupported size
+ */
+bool
+parseWindow(const std::string &value, bool &big_window)
+{
+    char *end = nullptr;
+    const unsigned long size =
+        std::strtoul(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' ||
+        (size != 128 && size != 256))
+        return false;
+    big_window = size == 256;
+    return true;
+}
+
+/**
+ * Parse one --capacities point: total entries with an optional K
+ * suffix, or Inf (0) for unbounded. Totals must be a multiple of 8
+ * (two equally split 4-way tables) so the labeled capacity is
+ * exactly the simulated one, never a rounded approximation.
+ * @return false on a malformed point
+ */
+bool
+parseCapacity(const std::string &label, unsigned &total)
+{
+    if (label == "Inf" || label == "inf") {
+        total = 0;
+        return true;
+    }
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(label.c_str(), &end, 10);
+    unsigned long scale = 1;
+    if (*end == 'K' || *end == 'k') {
+        scale = 1024;
+        ++end;
+    }
+    // 2^30 caps any sane geometry and keeps v * scale far from
+    // wrapping the 32-bit total.
+    if (end == label.c_str() || *end != '\0' || v == 0 ||
+        v > (1ul << 30) / scale || (v * scale) % 8 != 0)
+        return false;
+    total = static_cast<unsigned>(v * scale);
+    return true;
+}
+
 int
 runSweepMode(const SweepOptions &opt)
 {
@@ -151,15 +251,18 @@ runSweepMode(const SweepOptions &opt)
     spec.warmup = opt.warmup;
     spec.seed = opt.seed;
 
-    // Benchmark set.
+    // Benchmark set: an explicit comma-separated list narrows the
+    // suite selection.
     if (!opt.bench.empty()) {
-        const BenchmarkProfile *profile = findProfile(opt.bench);
-        if (profile == nullptr) {
-            std::fprintf(stderr, "unknown benchmark '%s' "
-                         "(try --list)\n", opt.bench.c_str());
-            return 1;
+        for (const std::string &name : splitList(opt.bench)) {
+            const BenchmarkProfile *profile = findProfile(name);
+            if (profile == nullptr) {
+                std::fprintf(stderr, "unknown benchmark '%s' "
+                             "(try --list)\n", name.c_str());
+                return 1;
+            }
+            spec.benchmarks.push_back(profile);
         }
-        spec.benchmarks.push_back(profile);
     } else if (opt.suite == "all") {
         spec.benchmarks = allProfilePtrs();
     } else if (opt.suite == "selected") {
@@ -176,48 +279,125 @@ runSweepMode(const SweepOptions &opt)
         return 1;
     }
 
-    // Configuration cross-product: modes x window sizes.
-    std::vector<LsuMode> modes;
-    if (opt.modes.empty()) {
-        modes = {LsuMode::SqPerfect, LsuMode::SqStoreSets,
-                 LsuMode::Nosq, LsuMode::NosqPerfect};
-    } else {
-        for (const std::string &name : splitList(opt.modes)) {
-            LsuMode mode;
-            if (!parseMode(name, mode)) {
-                std::fprintf(stderr, "unknown mode '%s'\n",
-                             name.c_str());
-                return 1;
-            }
-            modes.push_back(mode);
-        }
-    }
+    // Window sizes (dimension sweeps run on one machine size).
+    const std::string windows_list =
+        (opt.kind != SweepKind::Cross && !opt.windows_explicit)
+            ? "128" : opt.windows;
     std::vector<unsigned> windows;
-    for (const std::string &w : splitList(opt.windows)) {
-        char *end = nullptr;
-        const unsigned long size = std::strtoul(w.c_str(), &end, 10);
-        if (end == w.c_str() || *end != '\0' ||
-            (size != 128 && size != 256)) {
+    for (const std::string &w : splitList(windows_list)) {
+        bool big = false;
+        if (!parseWindow(w, big)) {
             std::fprintf(stderr, "invalid window size '%s' "
                          "(must be 128 or 256)\n", w.c_str());
             return 1;
         }
-        windows.push_back(static_cast<unsigned>(size));
+        windows.push_back(big ? 256u : 128u);
     }
-    if (windows.empty() || modes.empty() || spec.benchmarks.empty()) {
+
+    if (opt.kind == SweepKind::Cross) {
+        // Configuration cross-product: modes x window sizes.
+        std::vector<LsuMode> modes;
+        if (opt.modes.empty()) {
+            modes = {LsuMode::SqPerfect, LsuMode::SqStoreSets,
+                     LsuMode::Nosq, LsuMode::NosqPerfect};
+        } else {
+            for (const std::string &name : splitList(opt.modes)) {
+                LsuMode mode;
+                if (!parseMode(name, mode)) {
+                    std::fprintf(stderr, "unknown mode '%s'\n",
+                                 name.c_str());
+                    return 1;
+                }
+                modes.push_back(mode);
+            }
+        }
+        if (windows.empty() || modes.empty()) {
+            std::fprintf(stderr, "empty sweep\n");
+            return 1;
+        }
+        spec.configs = crossConfigs(modes, windows);
+    } else {
+        // Fixed-baseline dimension sweep (Figures 4 and 5). Flags
+        // the dimension cannot honour are rejected, not silently
+        // ignored.
+        if (!opt.modes.empty()) {
+            std::fprintf(stderr, "--mode/--modes apply only to "
+                         "--sweep (dimension sweeps fix their own "
+                         "configurations)\n");
+            return 1;
+        }
+        if (windows.size() != 1) {
+            std::fprintf(stderr, "dimension sweeps take a single "
+                         "--window (128 or 256)\n");
+            return 1;
+        }
+        if (opt.kind == SweepKind::CacheReads)
+            spec.configs = cacheReadsConfigs();
+        else
+            spec.configs.push_back(sqPerfectBaseline());
+        if (opt.kind == SweepKind::Capacity) {
+            std::vector<std::pair<std::string, unsigned>> capacities;
+            for (const std::string &label :
+                 splitList(opt.capacities)) {
+                unsigned total = 0;
+                if (!parseCapacity(label, total)) {
+                    std::fprintf(stderr, "invalid capacity '%s' "
+                                 "(total entries, multiple of 8, "
+                                 "K suffix allowed, or Inf)\n",
+                                 label.c_str());
+                    return 1;
+                }
+                capacities.emplace_back(label, total);
+            }
+            for (SweepConfig &config :
+                 predictorCapacityConfigs(capacities))
+                spec.configs.push_back(std::move(config));
+        } else if (opt.kind == SweepKind::History) {
+            std::vector<unsigned> bits;
+            if (opt.history_list.empty()) {
+                bits = {4, 6, 8, 10, 12};
+            } else {
+                for (const std::string &b :
+                     splitList(opt.history_list)) {
+                    unsigned long v = 0;
+                    if (!parseUnsigned(b, v)) {
+                        std::fprintf(stderr, "invalid history "
+                                     "length '%s'\n", b.c_str());
+                        return 1;
+                    }
+                    bits.push_back(static_cast<unsigned>(v));
+                }
+            }
+            for (SweepConfig &config : predictorHistoryConfigs(
+                     bits, /*with_unbounded=*/true))
+                spec.configs.push_back(std::move(config));
+        }
+        for (SweepConfig &config : spec.configs)
+            config.bigWindow = windows.front() == 256;
+    }
+    if (spec.configs.empty() || spec.benchmarks.empty()) {
         std::fprintf(stderr, "empty sweep\n");
         return 1;
     }
-    spec.configs = crossConfigs(modes, windows);
+    // Reductions normalize against the first configuration (the
+    // SQ baseline of the dimension sweeps).
+    const std::string baseline = spec.configs.front().name;
+
+    // Forward the single-run knobs into every configuration; the
+    // swept dimension is applied last so it wins on its own knob.
     for (SweepConfig &config : spec.configs) {
         if (!opt.delay)
             config.nosqDelay = false;
-        config.tweak = [&opt](UarchParams &p) {
+        const std::function<void(UarchParams &)> dimension =
+            config.tweak;
+        config.tweak = [&opt, dimension](UarchParams &p) {
             p.svwFilter = opt.svw;
             if (opt.history_set)
                 p.bypass.historyBits = opt.history_bits;
             if (opt.entries_set)
                 p.bypass.entriesPerTable = opt.entries;
+            if (dimension)
+                dimension(p);
         };
     }
 
@@ -230,12 +410,24 @@ runSweepMode(const SweepOptions &opt)
                 std::fputc('\n', stderr);
         };
     }
-    const std::vector<RunResult> results =
-        runSweep(jobs, opt.jobs, progress);
+    std::vector<RunResult> results;
+    int exit_code = 0;
+    try {
+        results = runSweep(jobs, opt.jobs, progress);
+    } catch (const SweepError &e) {
+        // Per-job failures were isolated by the engine: report the
+        // summary (job indices + reasons), salvage the completed
+        // runs (failed ones carry "valid": false in the report),
+        // and fail the invocation.
+        std::fprintf(stderr, "\n%s\n", e.what());
+        results = e.results();
+        exit_code = 1;
+    }
 
     const std::uint64_t insts = jobs.empty() ? 0 : jobs.front().insts;
     if (opt.json || !opt.out_path.empty()) {
-        const std::string report = sweepReportJson(results, insts);
+        const std::string report =
+            sweepReportJson(results, insts, baseline);
         if (!opt.out_path.empty()) {
             std::FILE *f = std::fopen(opt.out_path.c_str(), "w");
             if (f == nullptr) {
@@ -243,12 +435,18 @@ runSweepMode(const SweepOptions &opt)
                              opt.out_path.c_str());
                 return 1;
             }
-            std::fputs(report.c_str(), f);
-            std::fclose(f);
+            // A short write (full disk, quota) must fail loudly:
+            // a truncated report would poison trajectory tooling.
+            const bool wrote = std::fputs(report.c_str(), f) >= 0;
+            if (std::fclose(f) != 0 || !wrote) {
+                std::fprintf(stderr, "error writing '%s'\n",
+                             opt.out_path.c_str());
+                return 1;
+            }
         }
         if (opt.json) {
             std::fputs(report.c_str(), stdout);
-            return 0;
+            return exit_code;
         }
         // --out without --json: file written, table still prints.
     }
@@ -263,6 +461,39 @@ runSweepMode(const SweepOptions &opt)
                    fmtPct(r.sim.pctLoadsDelayed())});
     }
     std::fputs(table.render().c_str(), stdout);
+    return exit_code;
+}
+
+/** Strict-parse @p path and check the nosq-sweep-v2 schema. */
+int
+runValidateMode(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+        return 1;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(text, doc, &error)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    if (!validateSweepReport(doc, &error)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    std::printf("%s: valid nosq-sweep-v2 (%zu runs)\n", path.c_str(),
+                doc.find("runs")->array.size());
     return 0;
 }
 
@@ -279,6 +510,7 @@ main(int argc, char **argv)
     bool big_window = false;
     bool delay = true;
     bool svw = true;
+    std::string history_arg;
     unsigned history_bits = 8;
     unsigned entries = 1024;
     std::uint64_t seed = 1;
@@ -288,6 +520,7 @@ main(int argc, char **argv)
     bool windows_set = false;
     bool history_set = false;
     bool entries_set = false;
+    std::string validate_path;
     SweepOptions sweep_opt;
 
     for (int i = 1; i < argc; ++i) {
@@ -313,25 +546,56 @@ main(int argc, char **argv)
             warmup = std::strtoull(next(), nullptr, 10);
             warmup_set = true;
         } else if (arg == "--window") {
-            big_window = std::strtoul(next(), nullptr, 10) >= 256;
+            const char *value = next();
+            if (!parseWindow(value, big_window)) {
+                std::fprintf(stderr, "invalid --window '%s' "
+                             "(must be 128 or 256)\n", value);
+                return 1;
+            }
             window_set = true;
         } else if (arg == "--no-delay") {
             delay = false;
         } else if (arg == "--no-svw") {
             svw = false;
         } else if (arg == "--history") {
-            history_bits =
-                static_cast<unsigned>(std::strtoul(next(),
-                                                   nullptr, 10));
-            history_set = true;
+            history_arg = next();
         } else if (arg == "--entries") {
-            entries = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
+            // A zero or garbage entry count would crash the
+            // predictor's set indexing, and the set size must hold
+            // whole 4-way sets.
+            const char *value = next();
+            unsigned long v = 0;
+            if (!parseUnsigned(value, v) || v == 0 || v % 4 != 0) {
+                std::fprintf(stderr, "invalid --entries '%s' "
+                             "(nonzero multiple of 4)\n", value);
+                return 1;
+            }
+            entries = static_cast<unsigned>(v);
             entries_set = true;
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--sweep") {
             sweep = true;
+        } else if (arg.rfind("--sweep=", 0) == 0) {
+            sweep = true;
+            const std::string dimension = arg.substr(8);
+            if (dimension == "capacity") {
+                sweep_opt.kind = SweepKind::Capacity;
+            } else if (dimension == "history") {
+                sweep_opt.kind = SweepKind::History;
+            } else if (dimension == "cache-reads") {
+                sweep_opt.kind = SweepKind::CacheReads;
+            } else {
+                std::fprintf(stderr, "unknown sweep dimension '%s' "
+                             "(capacity | history | cache-reads)\n",
+                             dimension.c_str());
+                return 1;
+            }
+        } else if (arg == "--capacities") {
+            sweep_opt.capacities = next();
+            sweep_opt.capacities_explicit = true;
+        } else if (arg == "--validate") {
+            validate_path = next();
         } else if (arg == "--jobs") {
             sweep_opt.jobs = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
@@ -352,6 +616,36 @@ main(int argc, char **argv)
         }
     }
 
+    if (!validate_path.empty())
+        return runValidateMode(validate_path);
+
+    // --history: a single length everywhere; a comma list only as
+    // the --sweep=history points.
+    const bool history_is_list =
+        history_arg.find(',') != std::string::npos;
+    if (!history_arg.empty() && !history_is_list) {
+        unsigned long v = 0;
+        if (!parseUnsigned(history_arg, v)) {
+            std::fprintf(stderr, "invalid --history '%s'\n",
+                         history_arg.c_str());
+            return 1;
+        }
+        history_bits = static_cast<unsigned>(v);
+        history_set = true;
+    }
+    if (history_is_list &&
+        !(sweep && sweep_opt.kind == SweepKind::History)) {
+        std::fprintf(stderr, "--history takes a comma list only "
+                     "with --sweep=history\n");
+        return 1;
+    }
+    if (sweep_opt.capacities_explicit &&
+        !(sweep && sweep_opt.kind == SweepKind::Capacity)) {
+        std::fprintf(stderr, "--capacities applies only to "
+                     "--sweep=capacity\n");
+        return 1;
+    }
+
     if (sweep) {
         sweep_opt.bench = bench;
         sweep_opt.insts = insts;
@@ -364,8 +658,13 @@ main(int argc, char **argv)
             sweep_opt.modes = mode;
         if (window_set && !windows_set)
             sweep_opt.windows = big_window ? "256" : "128";
+        sweep_opt.windows_explicit = window_set || windows_set;
         sweep_opt.delay = delay;
         sweep_opt.svw = svw;
+        // In history-dimension mode, --history (single or list)
+        // names the sweep points rather than a fixed knob.
+        if (sweep_opt.kind == SweepKind::History)
+            sweep_opt.history_list = history_arg;
         if (history_set) {
             sweep_opt.history_set = true;
             sweep_opt.history_bits = history_bits;
