@@ -1,0 +1,690 @@
+#include "sim/journal.hh"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+
+namespace nosq {
+
+namespace {
+
+constexpr const char *journal_schema = "nosq-journal-v1";
+
+// --- fingerprinting --------------------------------------------------------
+
+/**
+ * FNV-1a 64 accumulator over a canonical "key=value|" text. Hashing
+ * text instead of struct bytes keeps the fingerprint independent of
+ * padding, field order in memory, and ABI.
+ */
+class Fnv
+{
+  public:
+    void
+    text(const std::string &s)
+    {
+        // Length prefix rather than a delimiter byte: with a
+        // delimiter, adjacent free-form fields could absorb each
+        // other's bytes ("A|B" + "C" vs "A" + "B|C") and distinct
+        // tuples would collide.
+        std::uint64_t n = s.size();
+        for (int i = 0; i < 8; ++i) {
+            byte(static_cast<unsigned char>(n & 0xff));
+            n >>= 8;
+        }
+        for (const char c : s)
+            byte(static_cast<unsigned char>(c));
+    }
+
+    void
+    field(const char *key, std::uint64_t value)
+    {
+        text(std::string(key) + '=' + std::to_string(value));
+    }
+
+    std::string
+    hex() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out(16, '0');
+        for (int i = 0; i < 16; ++i)
+            out[i] = digits[(hash >> (60 - 4 * i)) & 0xf];
+        return out;
+    }
+
+  private:
+    void
+    byte(unsigned char b)
+    {
+        hash ^= b;
+        hash *= 0x100000001b3ull;
+    }
+
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+};
+
+/** Every UarchParams field, nested component configs included. */
+void
+hashParams(Fnv &fnv, const UarchParams &p)
+{
+    fnv.field("mode", static_cast<std::uint64_t>(p.mode));
+    fnv.field("delay", p.nosqDelay);
+    fnv.field("svw", p.svwFilter);
+    fnv.field("fetchW", p.fetchWidth);
+    fnv.field("renameW", p.renameWidth);
+    fnv.field("issueW", p.issueWidth);
+    fnv.field("commitW", p.commitWidth);
+    fnv.field("maxBr", p.maxBranchesPerCycle);
+    fnv.field("rob", p.robSize);
+    fnv.field("iq", p.iqSize);
+    fnv.field("lq", p.lqSize);
+    fnv.field("sq", p.sqSize);
+    fnv.field("regs", p.numPhysRegs);
+    fnv.field("fbuf", p.fetchBufferSize);
+    fnv.field("isSimple", p.issueSimple);
+    fnv.field("isComplex", p.issueComplex);
+    fnv.field("isBranch", p.issueBranch);
+    fnv.field("isLoad", p.issueLoad);
+    fnv.field("isStore", p.issueStore);
+    fnv.field("f2r", p.fetchToRename);
+    fnv.field("i2e", p.issueToExec);
+    fnv.field("beDepth", p.backendDepth);
+    fnv.field("beDepthN", p.backendDepthNosq);
+    fnv.field("br.tab", p.branch.tableEntries);
+    fnv.field("br.hist", p.branch.historyBits);
+    fnv.field("br.btb", p.branch.btbEntries);
+    fnv.field("br.btbA", p.branch.btbAssoc);
+    fnv.field("br.ras", p.branch.rasEntries);
+    fnv.field("bp.ent", p.bypass.entriesPerTable);
+    fnv.field("bp.assoc", p.bypass.assoc);
+    fnv.field("bp.hist", p.bypass.historyBits);
+    fnv.field("bp.dist", p.bypass.maxDistance);
+    fnv.field("bp.cBits", p.bypass.confBits);
+    fnv.field("bp.cInit", p.bypass.confInit);
+    fnv.field("bp.cThr", p.bypass.confThreshold);
+    fnv.field("bp.cDec", p.bypass.confDec);
+    fnv.field("bp.cInc", p.bypass.confInc);
+    fnv.field("bp.inf", p.bypass.unbounded);
+    fnv.field("ss.ssit", p.storeSets.ssitEntries);
+    fnv.field("ss.lfst", p.storeSets.lfstEntries);
+    fnv.field("ss.clear", p.storeSets.cyclicClearInterval);
+    fnv.field("tssbf.ent", p.tssbf.entries);
+    fnv.field("tssbf.assoc", p.tssbf.assoc);
+    for (const auto &[tag, c] :
+         {std::pair<const char *, const CacheParams &>
+              {"l1i", p.memsys.l1i},
+          {"l1d", p.memsys.l1d},
+          {"l2", p.memsys.l2}}) {
+        fnv.field((std::string(tag) + ".size").c_str(), c.sizeBytes);
+        fnv.field((std::string(tag) + ".assoc").c_str(), c.assoc);
+        fnv.field((std::string(tag) + ".line").c_str(), c.lineBytes);
+        fnv.field((std::string(tag) + ".lat").c_str(), c.hitLatency);
+    }
+    for (const auto &[tag, t] :
+         {std::pair<const char *, const TlbParams &>
+              {"itlb", p.memsys.itlb},
+          {"dtlb", p.memsys.dtlb}}) {
+        fnv.field((std::string(tag) + ".ent").c_str(), t.entries);
+        fnv.field((std::string(tag) + ".assoc").c_str(), t.assoc);
+        fnv.field((std::string(tag) + ".page").c_str(), t.pageBits);
+        fnv.field((std::string(tag) + ".miss").c_str(),
+                  t.missLatency);
+    }
+    fnv.field("mem.lat", p.memsys.memoryLatency);
+    fnv.field("mem.bus", p.memsys.busTransfer);
+    fnv.field("ssnWrap", p.ssnWrapPeriod);
+}
+
+// --- one-line record (de)serialization -------------------------------------
+
+/** toJson(RunResult) flattened to a single JSONL-safe line: the
+ * emitter's newlines only ever separate tokens, never live inside a
+ * string (strings escape control characters). */
+std::string
+runLine(const RunResult &run)
+{
+    std::string json = toJson(run);
+    json.erase(std::remove(json.begin(), json.end(), '\n'),
+               json.end());
+    return json;
+}
+
+/**
+ * A JSON number that is exactly one of the emitter's integer
+ * counters: integral, non-negative, and within the double-exact
+ * range. Anything else (a corrupt "-1", "1e300", "123.5") fails so
+ * the record is skipped and its job re-runs -- never an undefined
+ * or silently truncating cast.
+ */
+bool
+asExactCounter(const JsonValue &v, std::uint64_t &out)
+{
+    if (v.kind != JsonValue::Kind::Number)
+        return false;
+    const double d = v.number;
+    // Strictly below 2^53: at exactly 2^53 the double may already
+    // be a rounded 2^53+1, so the value is no longer provably the
+    // one that was written.
+    if (!(d >= 0.0) || d >= 9007199254740992.0 /* 2^53 */ ||
+        d != std::floor(d))
+        return false;
+    out = static_cast<std::uint64_t>(d);
+    return true;
+}
+
+bool
+suiteFromName(const std::string &name, Suite &out)
+{
+    for (const Suite s : {Suite::Media, Suite::Int, Suite::Fp}) {
+        if (name == suiteName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Rebuild a RunResult from a parsed record's "run" object. The
+ * counters are exact: they were emitted via std::to_string and stay
+ * integral through the parser's double (all simulator counters are
+ * far below 2^53). The derived "ipc" member is ignored -- SimResult
+ * recomputes it.
+ * @return false on any shape violation
+ */
+bool
+runFromJson(const JsonValue &v, RunResult &out)
+{
+    if (v.kind != JsonValue::Kind::Object)
+        return false;
+    const JsonValue *benchmark = v.find("benchmark");
+    const JsonValue *suite = v.find("suite");
+    const JsonValue *config = v.find("config");
+    const JsonValue *valid = v.find("valid");
+    const JsonValue *stats = v.find("stats");
+    if (!benchmark || benchmark->kind != JsonValue::Kind::String ||
+        !suite || suite->kind != JsonValue::Kind::String ||
+        !config || config->kind != JsonValue::Kind::String ||
+        !valid || valid->kind != JsonValue::Kind::Bool ||
+        !stats || stats->kind != JsonValue::Kind::Object)
+        return false;
+    out.benchmark = benchmark->string;
+    if (!suiteFromName(suite->string, out.suite))
+        return false;
+    out.config = config->string;
+    out.valid = valid->boolean;
+
+    // The same counter table the emitter and validator iterate, so
+    // a new SimResult counter cannot be silently dropped here.
+    bool ok = true;
+    forEachSimCounter(out.sim, [&](const char *key,
+                                   std::uint64_t &slot) {
+        const JsonValue *field = stats->find(key);
+        if (field == nullptr || !asExactCounter(*field, slot))
+            ok = false;
+    });
+    return ok;
+}
+
+std::string
+headerLine(const std::string &spec, std::size_t jobs)
+{
+    return std::string("{\"schema\": \"") + journal_schema +
+        "\", \"spec\": \"" + spec + "\", \"jobs\": " +
+        std::to_string(jobs) + "}";
+}
+
+std::string
+recordLine(const std::string &fingerprint, const RunResult &run)
+{
+    return "{\"fp\": \"" + fingerprint + "\", \"run\": " +
+        runLine(run) + "}";
+}
+
+/** Split @p text into lines; a final unterminated fragment (the
+ * half-written line a SIGKILL can leave) is kept as a line so the
+ * loader can diagnose it. */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(start));
+            break;
+        }
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+/** Spec hash over already-computed per-job fingerprints. */
+std::string
+specFingerprint(std::size_t count,
+                const std::vector<std::string> &fps)
+{
+    Fnv fnv;
+    fnv.text("nosq-sweep-spec-v1");
+    fnv.field("jobs", count);
+    for (const std::string &fp : fps)
+        fnv.text(fp);
+    return fnv.hex();
+}
+
+} // anonymous namespace
+
+std::string
+jobFingerprint(const SweepJob &job)
+{
+    Fnv fnv;
+    fnv.text("nosq-job-v1");
+    fnv.text(job.profile ? job.profile->name : job.benchmark);
+    fnv.text(suiteName(job.profile ? job.profile->suite
+                                   : job.suite));
+    fnv.text(job.config);
+    fnv.field("seed", job.seed);
+    fnv.field("insts", job.insts);
+    fnv.field("warmup", job.warmup);
+    // The callable itself is unhashable; runnerTag is the caller's
+    // stand-in identity for it (two studies with different runners
+    // over identical tuples must not share a journal).
+    fnv.field("runner", job.runner ? 1 : 0);
+    fnv.text(job.runnerTag);
+    hashParams(fnv, job.params);
+    return fnv.hex();
+}
+
+std::string
+sweepFingerprint(const std::vector<SweepJob> &jobs)
+{
+    std::vector<std::string> fps;
+    fps.reserve(jobs.size());
+    for (const SweepJob &job : jobs)
+        fps.push_back(jobFingerprint(job));
+    return specFingerprint(jobs.size(), fps);
+}
+
+// --- SweepJournal ----------------------------------------------------------
+
+SweepJournal
+SweepJournal::create(std::string path)
+{
+    return SweepJournal(std::move(path), /*resume=*/false);
+}
+
+SweepJournal
+SweepJournal::resume(std::string path)
+{
+    return SweepJournal(std::move(path), /*resume=*/true);
+}
+
+SweepJournal::SweepJournal(SweepJournal &&other) noexcept
+    : file_path(std::move(other.file_path)),
+      resuming(other.resuming), bound(other.bound),
+      file(other.file), lock_fd(other.lock_fd),
+      write_error(std::move(other.write_error)),
+      appended(std::move(other.appended)),
+      fingerprints(std::move(other.fingerprints)),
+      done(std::move(other.done)), loaded(std::move(other.loaded)),
+      done_count(other.done_count), warns(std::move(other.warns))
+{
+    other.file = nullptr;
+    other.lock_fd = -1;
+}
+
+SweepJournal::~SweepJournal()
+{
+    closeFile();
+}
+
+void
+SweepJournal::closeFile()
+{
+    if (file != nullptr) {
+        std::fclose(file);
+        file = nullptr;
+    }
+    if (lock_fd >= 0) {
+        // Unlink BEFORE releasing the lock: a process that opened
+        // this inode meanwhile will fail bind()'s post-flock inode
+        // check and retry against a fresh sidecar, so no two
+        // holders can ever coexist, and no .lock litter remains.
+        std::remove((file_path + ".lock").c_str());
+        ::close(lock_fd); // releases the flock
+        lock_fd = -1;
+    }
+}
+
+void
+SweepJournal::bind(const std::vector<SweepJob> &jobs)
+{
+    nosq_assert(!bound, "journal bound twice");
+    bound = true;
+
+    // Inter-process exclusion before any read or rewrite: two
+    // concurrent resumes of one journal would silently lose each
+    // other's records (the compaction rename orphans the inode the
+    // other process appends to). The lock lives on a sidecar file
+    // because the journal's own inode is replaced by that rename.
+    // closeFile() unlinks the sidecar while still holding the
+    // lock, so after flocking we must confirm the file we locked
+    // is still the one on disk (a racer may have locked a fresh
+    // sidecar created after an unlink) and retry if not.
+    const std::string lock_path = file_path + ".lock";
+    for (int attempt = 0; lock_fd < 0; ++attempt) {
+        const int fd =
+            ::open(lock_path.c_str(), O_CREAT | O_RDWR, 0644);
+        if (fd < 0)
+            throw JournalError("cannot open '" + lock_path + "'");
+        if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+            ::close(fd);
+            // A just-SIGKILLed holder can take a few milliseconds
+            // to tear down its descriptors, so the kill-and-resume
+            // recipe must not flake on that window: retry briefly.
+            // A genuinely live sweep holds its lock for the whole
+            // run, far longer than this grace period.
+            if (attempt >= 7) {
+                throw JournalError("'" + file_path + "' is in use "
+                                   "by another sweep; refusing to "
+                                   "share a journal");
+            }
+            ::usleep(150 * 1000);
+            continue;
+        }
+        struct stat fd_stat, path_stat;
+        if (::fstat(fd, &fd_stat) == 0 &&
+            ::stat(lock_path.c_str(), &path_stat) == 0 &&
+            fd_stat.st_dev == path_stat.st_dev &&
+            fd_stat.st_ino == path_stat.st_ino) {
+            lock_fd = fd;
+        } else {
+            // Locked an orphaned sidecar inode; try the current one.
+            ::close(fd);
+            if (attempt >= 7)
+                throw JournalError("cannot acquire '" + lock_path +
+                                   "'");
+        }
+    }
+
+    fingerprints.clear();
+    fingerprints.reserve(jobs.size());
+    // Identical job tuples produce identical results (the engine's
+    // determinism contract), so one journal record serves every job
+    // index sharing its fingerprint.
+    std::unordered_map<std::string, std::vector<std::size_t>>
+        indices_of;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        fingerprints.push_back(jobFingerprint(jobs[i]));
+        indices_of[fingerprints.back()].push_back(i);
+    }
+    // Reuses the per-job fingerprints computed above rather than
+    // hashing every tuple a second time.
+    const std::string spec =
+        specFingerprint(jobs.size(), fingerprints);
+    done.assign(jobs.size(), 0);
+    loaded.assign(jobs.size(), RunResult());
+    done_count = 0;
+
+    if (!resuming) {
+        // A fresh --checkpoint over a journal of this very sweep is
+        // almost always a re-typed command that meant --resume;
+        // truncating it would silently destroy every completed
+        // job. Anything else at the path (other spec, not a
+        // journal) is overwritten as requested.
+        if (std::FILE *in = std::fopen(file_path.c_str(), "rb")) {
+            std::string first;
+            int c;
+            while ((c = std::fgetc(in)) != EOF && c != '\n')
+                first += static_cast<char>(c);
+            std::fclose(in);
+            JsonValue header;
+            if (parseJson(first, header, nullptr)) {
+                const JsonValue *schema = header.find("schema");
+                const JsonValue *file_spec = header.find("spec");
+                if (schema != nullptr &&
+                    schema->kind == JsonValue::Kind::String &&
+                    schema->string == journal_schema &&
+                    file_spec != nullptr &&
+                    file_spec->kind == JsonValue::Kind::String &&
+                    file_spec->string == spec) {
+                    throw JournalError(
+                        "'" + file_path + "' already journals this "
+                        "sweep; resume it (--resume) instead of "
+                        "overwriting, or delete the file first");
+                }
+            }
+        }
+    }
+
+    if (resuming) {
+        std::string text;
+        bool file_found = false;
+        if (std::FILE *in = std::fopen(file_path.c_str(), "rb")) {
+            file_found = true;
+            char buf[4096];
+            std::size_t n;
+            while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+                text.append(buf, n);
+            std::fclose(in);
+        } else {
+            warns.push_back("journal '" + file_path +
+                            "' not found; starting fresh");
+        }
+        const std::vector<std::string> lines = splitLines(text);
+        if (file_found && lines.empty())
+            warns.push_back("journal '" + file_path +
+                            "' is empty; starting fresh");
+
+        // Header: parse/schema problems discard the journal (nothing
+        // below it can be trusted); a well-formed header naming a
+        // DIFFERENT sweep spec is a user error and refuses loudly.
+        bool header_ok = false;
+        if (!lines.empty()) {
+            JsonValue header;
+            const JsonValue *schema = nullptr;
+            if (parseJson(lines[0], header, nullptr))
+                schema = header.find("schema");
+            if (schema == nullptr) {
+                warns.push_back("journal header is corrupt; "
+                                "discarding all records");
+            } else if (schema->kind != JsonValue::Kind::String ||
+                       schema->string != journal_schema) {
+                warns.push_back("journal has schema '" +
+                                schema->string + "', expected '" +
+                                journal_schema +
+                                "'; discarding all records");
+            } else {
+                const JsonValue *file_spec = header.find("spec");
+                if (file_spec == nullptr ||
+                    file_spec->kind != JsonValue::Kind::String) {
+                    warns.push_back("journal header lacks a spec "
+                                    "fingerprint; discarding all "
+                                    "records");
+                } else if (file_spec->string != spec) {
+                    throw JournalError(
+                        "'" + file_path + "' was written by a "
+                        "different sweep spec (journal " +
+                        file_spec->string + ", current sweep " +
+                        spec + "); refusing to resume");
+                } else {
+                    header_ok = true;
+                    // The spec hash already encodes the job count,
+                    // so a disagreeing "jobs" field means the
+                    // header was edited -- records still verify
+                    // individually, but say so.
+                    const JsonValue *count = header.find("jobs");
+                    if (count == nullptr ||
+                        count->kind != JsonValue::Kind::Number ||
+                        count->number !=
+                            static_cast<double>(jobs.size())) {
+                        warns.push_back("journal header jobs count "
+                                        "disagrees with the sweep; "
+                                        "records are verified "
+                                        "individually");
+                    }
+                }
+            }
+        }
+
+        for (std::size_t n = 1; header_ok && n < lines.size(); ++n) {
+            const std::string where =
+                "journal record " + std::to_string(n);
+            JsonValue rec;
+            if (!parseJson(lines[n], rec, nullptr)) {
+                // A malformed line means the tail was cut mid-write;
+                // nothing after it is trustworthy.
+                warns.push_back(where + " is corrupt (truncated "
+                                "tail?); salvaging the " +
+                                std::to_string(done_count) +
+                                " records before it");
+                break;
+            }
+            const JsonValue *fp = rec.find("fp");
+            const JsonValue *run_json = rec.find("run");
+            RunResult run;
+            if (fp == nullptr ||
+                fp->kind != JsonValue::Kind::String ||
+                run_json == nullptr ||
+                !runFromJson(*run_json, run)) {
+                warns.push_back(where + " is malformed; skipping "
+                                "it");
+                continue;
+            }
+            const auto it = indices_of.find(fp->string);
+            if (it == indices_of.end()) {
+                warns.push_back(where + " fingerprint " +
+                                fp->string + " is not in this "
+                                "sweep's job list; skipping it");
+                continue;
+            }
+            if (!run.valid) {
+                warns.push_back(where + " is marked invalid; the "
+                                "job will re-run");
+                continue;
+            }
+            const SweepJob &job = jobs[it->second.front()];
+            const std::string job_bench =
+                job.profile ? job.profile->name : job.benchmark;
+            const Suite job_suite =
+                job.profile ? job.profile->suite : job.suite;
+            if (run.benchmark != job_bench ||
+                run.config != job.config ||
+                run.suite != job_suite) {
+                warns.push_back(where + " labels disagree with its "
+                                "fingerprint's job; skipping it");
+                continue;
+            }
+            bool any_new = false;
+            for (const std::size_t index : it->second) {
+                if (done[index])
+                    continue;
+                loaded[index] = run;
+                done[index] = 1;
+                ++done_count;
+                any_new = true;
+            }
+            if (!any_new) {
+                warns.push_back(where + " duplicates fingerprint " +
+                                fp->string + "; keeping the first "
+                                "record");
+            }
+        }
+
+        if (!header_ok && !text.empty()) {
+            // Nothing was salvaged, but the records may be hand-
+            // recoverable (e.g. one flipped header byte): keep the
+            // file aside rather than letting the rewrite below
+            // destroy it.
+            const std::string aside = file_path + ".corrupt";
+            std::remove(aside.c_str());
+            if (std::rename(file_path.c_str(), aside.c_str()) == 0)
+                warns.push_back("kept the unreadable journal at '" +
+                                aside + "' for manual recovery");
+        }
+    }
+
+    // (Re)write the journal -- fresh header plus the salvaged
+    // records, in job-index order -- so corruption never survives a
+    // resume and appends land on a clean tail. The rewrite goes
+    // through a temp file + rename so a crash mid-compaction can
+    // never destroy the records a previous run already earned:
+    // either the old journal or the compacted one survives, whole.
+    const std::string tmp_path = file_path + ".tmp";
+    std::FILE *tmp = std::fopen(tmp_path.c_str(), "w");
+    if (tmp == nullptr)
+        throw JournalError("cannot write '" + tmp_path + "'");
+    std::string out = headerLine(spec, jobs.size()) + '\n';
+    for (std::size_t i = 0; i < done.size(); ++i)
+        if (done[i] && appended.insert(fingerprints[i]).second)
+            out += recordLine(fingerprints[i], loaded[i]) + '\n';
+    // fsync before the rename: without it a power loss after the
+    // rename but before writeback can leave an empty journal, which
+    // would break the either-old-or-new-survives guarantee (fflush
+    // alone only covers process death).
+    const bool wrote = std::fputs(out.c_str(), tmp) >= 0 &&
+        std::fflush(tmp) == 0 && ::fsync(::fileno(tmp)) == 0;
+    if (std::fclose(tmp) != 0 || !wrote) {
+        std::remove(tmp_path.c_str());
+        throw JournalError("error writing '" + tmp_path + "'");
+    }
+    if (std::rename(tmp_path.c_str(), file_path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        throw JournalError("cannot replace '" + file_path + "'");
+    }
+    // Reopen for the per-record appends.
+    file = std::fopen(file_path.c_str(), "a");
+    if (file == nullptr)
+        throw JournalError("cannot append to '" + file_path + "'");
+}
+
+void
+SweepJournal::record(std::size_t index, const RunResult &run)
+{
+    nosq_assert(bound && index < fingerprints.size(),
+                "record() before bind() or out of range");
+    // Failed jobs are deliberately not journaled: a resumed sweep
+    // must retry them, not inherit their absence of statistics.
+    // statsValid -- the emitter's own predicate -- rather than the
+    // bare flag, so a record can never serialize as "valid": false
+    // and be discarded (and its job re-run) on every resume.
+    if (!statsValid(run))
+        return;
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (file == nullptr)
+        return;
+    // One record per unique tuple: when the job list contains
+    // duplicate tuples, the first completion covers them all.
+    if (!appended.insert(fingerprints[index]).second)
+        return;
+    const std::string line =
+        recordLine(fingerprints[index], run) + '\n';
+    // fflush per record hands the bytes to the OS, so losing them
+    // now takes a machine failure, not just a SIGKILL.
+    if (std::fputs(line.c_str(), file) < 0 ||
+        std::fflush(file) != 0) {
+        write_error = "journal append to '" + file_path +
+            "' failed; checkpointing disabled for the rest of the "
+            "sweep";
+        // Close only the journal handle. The flock must outlive
+        // the sweep: releasing it here would let a concurrent
+        // resume bind mid-run, the exact race the lock exists to
+        // refuse.
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+} // namespace nosq

@@ -46,18 +46,6 @@ totalCacheReads(const SimResult &r)
 }
 
 /**
- * The single validity predicate shared by the emitter and the
- * reductions. Today ipc() is guarded against cycles == 0, so the
- * finiteness check is pure defense-in-depth for future derived
- * statistics; the flag effectively mirrors RunResult::valid.
- */
-bool
-statsValid(const RunResult &r)
-{
-    return r.valid && std::isfinite(r.sim.ipc());
-}
-
-/**
  * The "/wNNN" machine-size tail of a cross-product config name
  * (crossConfigs() naming), or "" for single-machine configs.
  * Relative series must never mix the paper's two machines, so a
@@ -84,6 +72,12 @@ configStem(const std::string &config)
 }
 
 } // anonymous namespace
+
+bool
+statsValid(const RunResult &r)
+{
+    return r.valid && std::isfinite(r.sim.ipc());
+}
 
 SweepReductions
 computeReductions(const std::vector<RunResult> &results,
@@ -217,46 +211,18 @@ pad(int indent)
     return std::string(static_cast<std::size_t>(indent), ' ');
 }
 
-struct Field
-{
-    const char *key;
-    std::uint64_t value;
-};
-
 } // anonymous namespace
 
 std::string
 toJson(const SimResult &r, int indent)
 {
-    const Field fields[] = {
-        {"cycles", r.cycles},
-        {"insts", r.insts},
-        {"loads", r.loads},
-        {"stores", r.stores},
-        {"branches", r.branches},
-        {"comm_loads", r.commLoads},
-        {"partial_comm_loads", r.partialCommLoads},
-        {"bypassed_loads", r.bypassedLoads},
-        {"shift_uops", r.shiftUops},
-        {"delayed_loads", r.delayedLoads},
-        {"bypass_mispredicts", r.bypassMispredicts},
-        {"reexec_loads", r.reexecLoads},
-        {"load_flushes", r.loadFlushes},
-        {"dcache_reads_core", r.dcacheReadsCore},
-        {"dcache_reads_backend", r.dcacheReadsBackend},
-        {"dcache_writes", r.dcacheWrites},
-        {"branch_mispredicts", r.branchMispredicts},
-        {"sq_forwards", r.sqForwards},
-        {"sq_stalls", r.sqStalls},
-        {"ssn_wrap_drains", r.ssnWrapDrains},
-    };
-
     const std::string inner = pad(indent + 2);
     std::string out = "{\n";
-    for (const Field &f : fields) {
-        out += inner + '"' + f.key +
-            "\": " + std::to_string(f.value) + ",\n";
-    }
+    forEachSimCounter(r, [&](const char *key,
+                             std::uint64_t value) {
+        out += inner + '"' + key +
+            "\": " + std::to_string(value) + ",\n";
+    });
     out += inner + "\"ipc\": " + jsonNumber(r.ipc()) + "\n";
     out += pad(indent) + "}";
     return out;
@@ -625,15 +591,23 @@ parseJson(const std::string &text, JsonValue &out, std::string *error)
 
 namespace {
 
-/** Every key toJson(SimResult) emits. */
-constexpr const char *stat_keys[] = {
-    "cycles", "insts", "loads", "stores", "branches", "comm_loads",
-    "partial_comm_loads", "bypassed_loads", "shift_uops",
-    "delayed_loads", "bypass_mispredicts", "reexec_loads",
-    "load_flushes", "dcache_reads_core", "dcache_reads_backend",
-    "dcache_writes", "branch_mispredicts", "sq_forwards",
-    "sq_stalls", "ssn_wrap_drains", "ipc",
-};
+/** Every key toJson(SimResult) emits, derived from the shared
+ * counter table plus the derived "ipc". */
+const std::vector<const char *> &
+statKeys()
+{
+    static const std::vector<const char *> keys = [] {
+        std::vector<const char *> k;
+        SimResult dummy;
+        forEachSimCounter(dummy, [&](const char *key,
+                                     std::uint64_t &) {
+            k.push_back(key);
+        });
+        k.push_back("ipc");
+        return k;
+    }();
+    return keys;
+}
 
 bool
 schemaFail(std::string *error, const std::string &message)
@@ -687,7 +661,7 @@ validRun(const JsonValue &run, std::size_t index, std::string *error)
     if (stats == nullptr || stats->kind != JsonValue::Kind::Object)
         return schemaFail(error, where +
                           ".stats missing or not an object");
-    for (const char *key : stat_keys) {
+    for (const char *key : statKeys()) {
         const JsonValue *v = stats->find(key);
         if (v == nullptr || !isNumberOrNull(*v))
             return schemaFail(error, where + ".stats." + key +

@@ -63,6 +63,16 @@ namespace nosq {
 
 // --- reductions ------------------------------------------------------------
 
+/**
+ * The single validity predicate shared by the emitter (the per-run
+ * "valid" flag), the reductions (which aggregate only valid runs),
+ * and the journal (which must never append a record that would
+ * serialize as invalid and be discarded on every resume). Today
+ * ipc() is guarded against cycles == 0, so the finiteness check is
+ * defense-in-depth for future derived statistics.
+ */
+bool statsValid(const RunResult &r);
+
 /** Geomean/amean pair over one per-benchmark series. */
 struct MeanPair
 {
@@ -111,6 +121,40 @@ computeReductions(const std::vector<RunResult> &results,
                   const std::string &baseline_config = "");
 
 // --- emission --------------------------------------------------------------
+
+/**
+ * Visit every integer counter of a SimResult, in the emission order
+ * of toJson(SimResult): fn(key, member). This is the single source
+ * of truth for the counter set -- the JSON emitter, the schema
+ * validator's key list, and the journal's record loader all iterate
+ * it, so adding a SimResult counter means extending only this list
+ * (plus the derived "ipc", emitted separately).
+ */
+template <typename SimResultT, typename Fn>
+void
+forEachSimCounter(SimResultT &r, Fn &&fn)
+{
+    fn("cycles", r.cycles);
+    fn("insts", r.insts);
+    fn("loads", r.loads);
+    fn("stores", r.stores);
+    fn("branches", r.branches);
+    fn("comm_loads", r.commLoads);
+    fn("partial_comm_loads", r.partialCommLoads);
+    fn("bypassed_loads", r.bypassedLoads);
+    fn("shift_uops", r.shiftUops);
+    fn("delayed_loads", r.delayedLoads);
+    fn("bypass_mispredicts", r.bypassMispredicts);
+    fn("reexec_loads", r.reexecLoads);
+    fn("load_flushes", r.loadFlushes);
+    fn("dcache_reads_core", r.dcacheReadsCore);
+    fn("dcache_reads_backend", r.dcacheReadsBackend);
+    fn("dcache_writes", r.dcacheWrites);
+    fn("branch_mispredicts", r.branchMispredicts);
+    fn("sq_forwards", r.sqForwards);
+    fn("sq_stalls", r.sqStalls);
+    fn("ssn_wrap_drains", r.ssnWrapDrains);
+}
 
 /** Escape @p s for inclusion in a JSON string literal. */
 std::string jsonEscape(const std::string &s);

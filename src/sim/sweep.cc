@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "ooo/core.hh"
+#include "sim/journal.hh"
 #include "workload/generator.hh"
 
 namespace nosq {
@@ -335,39 +336,77 @@ runGuarded(const SweepJob &job, std::size_t index, RunResult &result,
 
 } // anonymous namespace
 
+namespace {
+
+/** Shared engine body behind both public runSweep() overloads. */
 std::vector<RunResult>
-runSweep(const std::vector<SweepJob> &jobs, unsigned num_workers,
-         const SweepProgress &progress)
+runSweepImpl(const std::vector<SweepJob> &jobs,
+             SweepJournal *journal, unsigned num_workers,
+             const SweepProgress &progress)
 {
     std::vector<RunResult> results(jobs.size());
+    // Bind even an empty job list, so the journal file exists (with
+    // a verifiable spec header) whenever the caller asked for one.
+    if (journal != nullptr)
+        journal->bind(jobs);
     if (jobs.empty())
         return results;
 
+    // With a journal, jobs completed by a previous (interrupted) run
+    // are merged in at their indices and only the rest execute.
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (journal != nullptr && journal->isDone(i))
+            results[i] = journal->doneResult(i);
+        else
+            pending.push_back(i);
+    }
+    const std::size_t skipped = jobs.size() - pending.size();
+    if (pending.empty()) {
+        // Everything was journaled: still honour the progress
+        // contract (skipped jobs count as done from the first
+        // invocation) with one completion report.
+        if (progress)
+            progress(jobs.size(), jobs.size());
+        return results;
+    }
+
     if (num_workers == 0)
         num_workers = defaultSweepWorkers();
-    if (num_workers > jobs.size())
-        num_workers = static_cast<unsigned>(jobs.size());
+    if (num_workers > pending.size())
+        num_workers = static_cast<unsigned>(pending.size());
 
     FailureLog failures;
 
+    // Failed (invalid) results are never journaled: a resumed sweep
+    // retries them instead of inheriting a hole.
+    auto finish = [&](std::size_t index) {
+        if (journal != nullptr)
+            journal->record(index, results[index]);
+    };
+
     if (num_workers <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::size_t done = skipped;
+        for (const std::size_t i : pending) {
             runGuarded(jobs[i], i, results[i], failures);
+            finish(i);
             if (progress)
-                progress(i + 1, jobs.size());
+                progress(++done, jobs.size());
         }
         failures.throwIfFailed(results);
         return results;
     }
 
     JobQueue queue;
-    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> done{skipped};
     std::mutex progress_mutex;
 
     auto worker = [&] {
         std::size_t index;
         while (queue.pop(index)) {
             runGuarded(jobs[index], index, results[index], failures);
+            finish(index);
             if (progress) {
                 // Increment under the same lock as the callback so
                 // reported counts are monotonic across workers.
@@ -383,13 +422,29 @@ runSweep(const std::vector<SweepJob> &jobs, unsigned num_workers,
     pool.reserve(num_workers);
     for (unsigned w = 0; w < num_workers; ++w)
         pool.emplace_back(worker);
-    for (std::size_t i = 0; i < jobs.size(); ++i)
+    for (const std::size_t i : pending)
         queue.push(i);
     queue.close();
     for (auto &thread : pool)
         thread.join();
     failures.throwIfFailed(results);
     return results;
+}
+
+} // anonymous namespace
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepJob> &jobs, unsigned num_workers,
+         const SweepProgress &progress)
+{
+    return runSweepImpl(jobs, nullptr, num_workers, progress);
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepJob> &jobs, SweepJournal &journal,
+         unsigned num_workers, const SweepProgress &progress)
+{
+    return runSweepImpl(jobs, &journal, num_workers, progress);
 }
 
 std::vector<RunResult>

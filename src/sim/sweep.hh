@@ -68,6 +68,15 @@ struct SweepJob
     std::uint64_t warmup = 0;
     /** Custom runner; empty runs the default pipeline. */
     SweepRunner runner;
+    /**
+     * Identity tag for the custom runner, hashed into the journal's
+     * job fingerprint (sim/journal.hh). The callable itself cannot
+     * be hashed, so two studies whose runners compute different
+     * statistics over otherwise identical tuples MUST set distinct
+     * tags or their checkpoint journals become interchangeable.
+     * Ignored (and unnecessary) for default-pipeline jobs.
+     */
+    std::string runnerTag;
 };
 
 /**
@@ -238,6 +247,8 @@ using SweepProgress =
 /** Worker count from NOSQ_JOBS, else hardware concurrency. */
 unsigned defaultSweepWorkers();
 
+class SweepJournal;
+
 /**
  * Run every job and return results ordered by job index.
  *
@@ -251,10 +262,34 @@ unsigned defaultSweepWorkers();
  * @param num_workers worker threads (0: defaultSweepWorkers());
  *        clamped to the job count; 1 runs inline on the caller
  * @param progress optional completion callback, serialized by the
- *        engine (at most one invocation at a time)
+ *        engine (at most one invocation at a time); with a journal,
+ *        jobs skipped as already journaled count as done from the
+ *        first invocation
  * @throws SweepError if any job threw
  */
 std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs,
+                                unsigned num_workers = 0,
+                                const SweepProgress &progress = {});
+
+/**
+ * runSweep() with a durable checkpoint/resume journal
+ * (sim/journal.hh). The journal is bound to @p jobs first: a resumed
+ * journal's records are fingerprint-verified against the job list,
+ * already-completed jobs are skipped and their journaled results
+ * merged into the returned vector at their job indices, and every
+ * newly completed job is appended to the journal (flushed per
+ * record, so an interrupted sweep loses at most in-flight jobs). The
+ * merged result vector -- and hence the final report, reductions
+ * included -- is bit-identical to an uninterrupted run's.
+ *
+ * @throws JournalError if the journal names a different sweep spec
+ *         or its file cannot be (re)written
+ * @throws SweepError if any job threw (journaled results are never
+ *         failures; failed jobs are not journaled and re-run on the
+ *         next resume)
+ */
+std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs,
+                                SweepJournal &journal,
                                 unsigned num_workers = 0,
                                 const SweepProgress &progress = {});
 

@@ -11,11 +11,15 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "sim/journal.hh"
 #include "sim/report.hh"
 #include "sim/sweep.hh"
 
@@ -297,6 +301,94 @@ TEST(SweepProgress, ReportsEveryCompletion)
     });
     EXPECT_EQ(calls, jobs.size());
     EXPECT_EQ(last_done, jobs.size());
+}
+
+// --- journal integration ---------------------------------------------------
+
+TEST(Sweep, JournaledRunMatchesPlainRunBitForBit)
+{
+    const std::string path =
+        testing::TempDir() + "nosq_sweep_journal.jsonl";
+    const std::vector<SweepJob> jobs = smallJobList();
+    const std::vector<RunResult> plain = runSweep(jobs, 4);
+
+    {
+        // Scoped: drops the journal lock before the resumes below.
+        SweepJournal journal = SweepJournal::create(path);
+        const std::vector<RunResult> journaled =
+            runSweep(jobs, journal, 4);
+        ASSERT_EQ(journaled.size(), plain.size());
+        for (std::size_t i = 0; i < plain.size(); ++i)
+            expectSameStats(journaled[i].sim, plain[i].sim);
+    }
+
+    // Resuming the complete journal runs nothing, serial or
+    // parallel, and still reproduces the same results.
+    for (const unsigned workers : {1u, 4u}) {
+        SweepJournal again = SweepJournal::resume(path);
+        const std::vector<RunResult> resumed =
+            runSweep(jobs, again, workers);
+        EXPECT_EQ(again.doneCount(), jobs.size());
+        for (std::size_t i = 0; i < plain.size(); ++i) {
+            EXPECT_EQ(resumed[i].benchmark, plain[i].benchmark);
+            EXPECT_EQ(resumed[i].config, plain[i].config);
+            expectSameStats(resumed[i].sim, plain[i].sim);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepProgress, CountsJournaledJobsAsAlreadyDone)
+{
+    const std::string path =
+        testing::TempDir() + "nosq_sweep_progress.jsonl";
+    const std::vector<SweepJob> jobs = smallJobList();
+    {
+        SweepJournal journal = SweepJournal::create(path);
+        runSweep(jobs, journal, 4);
+    }
+
+    // Drop the last journal record so exactly one job is pending.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), jobs.size() + 1);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        for (std::size_t i = 0; i + 1 < lines.size(); ++i)
+            out << lines[i] << '\n';
+    }
+
+    std::vector<std::size_t> reported;
+    {
+        // Scoped: drops the journal lock before the second resume.
+        SweepJournal journal = SweepJournal::resume(path);
+        runSweep(jobs, journal, 2,
+                 [&](std::size_t done, std::size_t total) {
+                     EXPECT_EQ(total, jobs.size());
+                     reported.push_back(done);
+                 });
+    }
+    // One pending job -> one progress call, already counting the
+    // journaled jobs as done.
+    ASSERT_EQ(reported.size(), 1u);
+    EXPECT_EQ(reported[0], jobs.size());
+
+    // Fully-journaled resume: still exactly one completion report.
+    SweepJournal full = SweepJournal::resume(path);
+    reported.clear();
+    runSweep(jobs, full, 2,
+             [&](std::size_t done, std::size_t total) {
+                 reported.push_back(done);
+                 EXPECT_EQ(total, jobs.size());
+             });
+    ASSERT_EQ(reported.size(), 1u);
+    EXPECT_EQ(reported[0], jobs.size());
+    std::remove(path.c_str());
 }
 
 // --- JSON reporter ---------------------------------------------------------

@@ -21,16 +21,20 @@
  *   nosq_sim --validate sweep.json
  */
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/table.hh"
 #include "sim/experiment.hh"
+#include "sim/journal.hh"
 #include "sim/report.hh"
 #include "sim/sweep.hh"
 #include "workload/generator.hh"
@@ -92,6 +96,17 @@ usage()
         "                        entries, K suffix allowed, Inf for\n"
         "                        unbounded (default\n"
         "                        64,128,256,512,1K,2K,4K,Inf)\n"
+        "  --checkpoint FILE     journal each completed job to FILE\n"
+        "                        (nosq-journal-v1 JSONL, flushed per\n"
+        "                        record; starts a fresh journal)\n"
+        "  --resume FILE         resume an interrupted sweep: skip\n"
+        "                        the jobs journaled in FILE, run the\n"
+        "                        rest, and keep journaling to FILE.\n"
+        "                        The merged report is byte-identical\n"
+        "                        to an uninterrupted run. Refuses a\n"
+        "                        journal from a different sweep spec;\n"
+        "                        corrupt records are salvaged up to\n"
+        "                        the damage with a warning\n"
         "  --json                emit the nosq-sweep-v2 JSON report\n"
         "                        (runs + per-suite reductions) to\n"
         "                        stdout instead of a table\n"
@@ -173,6 +188,8 @@ struct SweepOptions
     unsigned jobs = 0;
     bool json = false;
     std::string out_path;
+    std::string checkpoint_path;
+    std::string resume_path;
     // Single-run knobs forwarded into every sweep configuration.
     bool delay = true;
     bool svw = true;
@@ -410,17 +427,54 @@ runSweepMode(const SweepOptions &opt)
                 std::fputc('\n', stderr);
         };
     }
+
+    // Checkpoint/resume journal: --resume salvages an existing
+    // journal and keeps appending to it; --checkpoint starts fresh.
+    std::optional<SweepJournal> journal;
+    if (!opt.resume_path.empty())
+        journal.emplace(SweepJournal::resume(opt.resume_path));
+    else if (!opt.checkpoint_path.empty())
+        journal.emplace(SweepJournal::create(opt.checkpoint_path));
+
+    auto journalNotes = [&journal](bool resumed) {
+        if (!journal)
+            return;
+        for (const std::string &warning : journal->warnings())
+            std::fprintf(stderr, "journal: %s\n", warning.c_str());
+        if (resumed) {
+            std::fprintf(stderr, "journal: resumed %zu completed "
+                         "job(s) from '%s'\n", journal->doneCount(),
+                         journal->path().c_str());
+        }
+    };
+
     std::vector<RunResult> results;
     int exit_code = 0;
     try {
-        results = runSweep(jobs, opt.jobs, progress);
+        results = journal
+            ? runSweep(jobs, *journal, opt.jobs, progress)
+            : runSweep(jobs, opt.jobs, progress);
+        journalNotes(!opt.resume_path.empty());
+    } catch (const JournalError &e) {
+        // Unresumable journal (different sweep spec, unwritable
+        // path): nothing ran, so nothing to salvage.
+        journalNotes(false);
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
     } catch (const SweepError &e) {
         // Per-job failures were isolated by the engine: report the
         // summary (job indices + reasons), salvage the completed
         // runs (failed ones carry "valid": false in the report),
         // and fail the invocation.
+        journalNotes(!opt.resume_path.empty());
         std::fprintf(stderr, "\n%s\n", e.what());
         results = e.results();
+        exit_code = 1;
+    }
+    if (journal && !journal->writeError().empty()) {
+        // The sweep itself completed, but its checkpoint is not
+        // durable -- fail loudly so CI never trusts a bad journal.
+        std::fprintf(stderr, "%s\n", journal->writeError().c_str());
         exit_code = 1;
     }
 
@@ -429,6 +483,22 @@ runSweepMode(const SweepOptions &opt)
         const std::string report =
             sweepReportJson(results, insts, baseline);
         if (!opt.out_path.empty()) {
+            // The earlier string comparison cannot see through
+            // "./x" vs "x" or symlinks; compare inodes before the
+            // truncating open so the report can never clobber the
+            // journal it just earned.
+            struct stat out_stat, journal_stat;
+            if (journal &&
+                ::stat(opt.out_path.c_str(), &out_stat) == 0 &&
+                ::stat(journal->path().c_str(),
+                       &journal_stat) == 0 &&
+                out_stat.st_dev == journal_stat.st_dev &&
+                out_stat.st_ino == journal_stat.st_ino) {
+                std::fprintf(stderr, "--out '%s' is the journal "
+                             "file; refusing to overwrite it\n",
+                             opt.out_path.c_str());
+                return 1;
+            }
             std::FILE *f = std::fopen(opt.out_path.c_str(), "w");
             if (f == nullptr) {
                 std::fprintf(stderr, "cannot write '%s'\n",
@@ -610,6 +680,26 @@ main(int argc, char **argv)
             sweep_opt.json = true;
         } else if (arg == "--out") {
             sweep_opt.out_path = next();
+        } else if (arg == "--checkpoint" ||
+                   arg.rfind("--checkpoint=", 0) == 0) {
+            sweep_opt.checkpoint_path =
+                arg == "--checkpoint" ? next() : arg.substr(13);
+            // An empty path (e.g. --checkpoint=$UNSET) must never
+            // silently run without crash protection.
+            if (sweep_opt.checkpoint_path.empty()) {
+                std::fprintf(stderr, "--checkpoint needs a "
+                             "non-empty path\n");
+                return 1;
+            }
+        } else if (arg == "--resume" ||
+                   arg.rfind("--resume=", 0) == 0) {
+            sweep_opt.resume_path =
+                arg == "--resume" ? next() : arg.substr(9);
+            if (sweep_opt.resume_path.empty()) {
+                std::fprintf(stderr, "--resume needs a non-empty "
+                             "path\n");
+                return 1;
+            }
         } else {
             usage();
             return arg == "--help" ? 0 : 1;
@@ -643,6 +733,26 @@ main(int argc, char **argv)
         !(sweep && sweep_opt.kind == SweepKind::Capacity)) {
         std::fprintf(stderr, "--capacities applies only to "
                      "--sweep=capacity\n");
+        return 1;
+    }
+    if ((!sweep_opt.checkpoint_path.empty() ||
+         !sweep_opt.resume_path.empty()) && !sweep) {
+        std::fprintf(stderr, "--checkpoint/--resume apply only to "
+                     "sweep mode\n");
+        return 1;
+    }
+    if (!sweep_opt.checkpoint_path.empty() &&
+        !sweep_opt.resume_path.empty()) {
+        std::fprintf(stderr, "--checkpoint and --resume are "
+                     "mutually exclusive (--resume keeps "
+                     "journaling to its own file)\n");
+        return 1;
+    }
+    if (!sweep_opt.out_path.empty() &&
+        (sweep_opt.out_path == sweep_opt.checkpoint_path ||
+         sweep_opt.out_path == sweep_opt.resume_path)) {
+        std::fprintf(stderr, "--out must not name the journal "
+                     "file\n");
         return 1;
     }
 
