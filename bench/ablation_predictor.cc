@@ -38,7 +38,7 @@
 #include "sim/experiment.hh"
 #include "sim/sweep.hh"
 #include "workload/functional.hh"
-#include "workload/generator.hh"
+#include "workload/program_cache.hh"
 #include "workload/kernels.hh"
 #include "workload/profiles.hh"
 
@@ -57,9 +57,10 @@ struct AccuracyResult
 
 /** Trace-driven accuracy comparison of the two predictor styles. */
 AccuracyResult
-comparePredictors(const Program &program, std::uint64_t max_insts)
+comparePredictors(std::shared_ptr<const Program> program,
+                  std::uint64_t max_insts)
 {
-    FunctionalSim sim(program);
+    FunctionalSim sim(std::move(program));
     BypassPredictor distance(BypassPredictorParams{});
     StorePcBypassPredictor store_pc(StorePcPredictorParams{});
     PathHistory path;
@@ -150,9 +151,9 @@ loopCarriedProgram()
 SimResult
 accuracyRunner(const SweepJob &job)
 {
-    const Program program = job.profile
-        ? synthesize(*job.profile, job.seed)
-        : loopCarriedProgram();
+    const auto program = job.profile
+        ? ProgramCache::global().get(*job.profile, job.seed)
+        : std::make_shared<const Program>(loopCarriedProgram());
     const AccuracyResult r = comparePredictors(program, job.insts);
     SimResult sim;
     sim.loads = r.loads;

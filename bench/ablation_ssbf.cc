@@ -34,7 +34,7 @@
 #include "sim/experiment.hh"
 #include "sim/sweep.hh"
 #include "workload/functional.hh"
-#include "workload/generator.hh"
+#include "workload/program_cache.hh"
 #include "workload/profiles.hh"
 
 using namespace nosq;
@@ -52,9 +52,10 @@ struct FilterRates
 };
 
 FilterRates
-compare(const Program &program, std::uint64_t max_insts)
+compare(std::shared_ptr<const Program> program,
+        std::uint64_t max_insts)
 {
-    FunctionalSim sim(program);
+    FunctionalSim sim(std::move(program));
     Tssbf tagged({128, 4});       // 1KB (paper geometry)
     UntaggedSsbf untagged(1024);  // 8KB of SSNs
 
@@ -108,8 +109,9 @@ compare(const Program &program, std::uint64_t max_insts)
 SimResult
 filterRunner(const SweepJob &job)
 {
-    const Program program = synthesize(*job.profile, job.seed);
-    const FilterRates r = compare(program, job.insts);
+    const FilterRates r = compare(
+        ProgramCache::global().get(*job.profile, job.seed),
+        job.insts);
     SimResult sim;
     sim.loads = r.loads;
     sim.commLoads = r.vulnerable;

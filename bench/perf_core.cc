@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Simulator-performance benchmark: times the reference workload
+ * (sim/perf.hh), prints a per-run table, and writes BENCH_core.json
+ * for the perf trajectory. `nosq_sim --perf` emits the same JSON;
+ * this binary is the human-friendly wrapper.
+ *
+ * Honest-build note: measure on the Release preset (optimized,
+ * nosq_assert kept -- NDEBUG is stripped deliberately); Debug
+ * numbers are meaningless and RelAssert exists for profiling with
+ * symbols. CI benches use Release.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "sim/perf.hh"
+#include "sim/report.hh"
+
+using namespace nosq;
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_core.json";
+
+    std::printf("Timing the reference perf workload "
+                "(serial, single-core)...\n\n");
+    const PerfReport report = runPerfHarness();
+
+    TextTable table;
+    table.header({"bench", "config", "sim insts", "wall ms",
+                  "sim MIPS"});
+    for (const PerfRun &run : report.runs) {
+        table.row({run.benchmark, run.config,
+                   std::to_string(run.simInsts),
+                   fmtDouble(run.wallMs, 1),
+                   fmtDouble(run.mips, 2)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nTotal: %llu simulated instructions in %.1f ms "
+                "= %.2f MIPS\n",
+                static_cast<unsigned long long>(report.totalSimInsts),
+                report.totalWallMs, report.mips);
+
+    if (!writeTextFile(out_path, perfReportJson(report)))
+        return 1;
+    std::printf("Wrote %s\n", out_path);
+    return 0;
+}

@@ -55,15 +55,46 @@ class CircularBuffer
         return slots[pos];
     }
 
+    /**
+     * Append a freshly default-constructed youngest entry in place
+     * and return it, so large entries can be filled directly in their
+     * slot instead of being built outside and copied in.
+     */
+    T &
+    emplaceBack()
+    {
+        nosq_assert(!full(), "push to full circular buffer");
+        std::size_t pos = physical(count);
+        slots[pos] = T();
+        ++count;
+        return slots[pos];
+    }
+
     /** Pop the oldest entry; the buffer must not be empty. */
     T
     popFront()
     {
         nosq_assert(!empty(), "pop from empty circular buffer");
         T value = slots[head];
-        head = (head + 1) % slots.size();
+        ++head;
+        if (head == slots.size())
+            head = 0;
         --count;
         return value;
+    }
+
+    /**
+     * Discard the oldest entry without copying it out (retirement
+     * path for large entries).
+     */
+    void
+    dropFront()
+    {
+        nosq_assert(!empty(), "dropFront from empty circular buffer");
+        ++head;
+        if (head == slots.size())
+            head = 0;
+        --count;
     }
 
     /** Discard the youngest entry (squash support). */
@@ -102,10 +133,16 @@ class CircularBuffer
     }
 
   private:
+    // On the cycle-loop hot path; a compare-and-subtract beats the
+    // division the general modulo would need (capacities are not
+    // required to be powers of two).
     std::size_t
     physical(std::size_t logical) const
     {
-        return (head + logical) % slots.size();
+        std::size_t pos = head + logical;
+        if (pos >= slots.size())
+            pos -= slots.size();
+        return pos;
     }
 
     std::vector<T> slots;

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared FNV-1a 64 fingerprint accumulator.
+ *
+ * Hashes canonical "key=value" text instead of struct bytes, so
+ * fingerprints are independent of padding, in-memory field order,
+ * and ABI. Used by the sweep journal's job fingerprints
+ * (sim/journal.cc) and the program cache's profile fingerprints
+ * (workload/program_cache.cc); keep the byte-feeding discipline
+ * stable -- journal fingerprints are persisted across runs.
+ */
+
+#ifndef NOSQ_COMMON_FNV_HH
+#define NOSQ_COMMON_FNV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nosq {
+
+/** FNV-1a 64 accumulator over length-prefixed canonical text. */
+class Fnv
+{
+  public:
+    void
+    text(const std::string &s)
+    {
+        // Length prefix rather than a delimiter byte: with a
+        // delimiter, adjacent free-form fields could absorb each
+        // other's bytes ("A|B" + "C" vs "A" + "B|C") and distinct
+        // tuples would collide.
+        std::uint64_t n = s.size();
+        for (int i = 0; i < 8; ++i) {
+            byte(static_cast<unsigned char>(n & 0xff));
+            n >>= 8;
+        }
+        for (const char c : s)
+            byte(static_cast<unsigned char>(c));
+    }
+
+    void
+    field(const char *key, std::uint64_t value)
+    {
+        text(std::string(key) + '=' + std::to_string(value));
+    }
+
+    /** The accumulated hash as 16 lowercase hex digits. */
+    std::string
+    hex() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out(16, '0');
+        for (int i = 0; i < 16; ++i)
+            out[i] = digits[(hash >> (60 - 4 * i)) & 0xf];
+        return out;
+    }
+
+    /** The accumulated hash as a raw 64-bit value. */
+    std::uint64_t value() const { return hash; }
+
+  private:
+    void
+    byte(unsigned char b)
+    {
+        hash ^= b;
+        hash *= 0x100000001b3ull;
+    }
+
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_COMMON_FNV_HH

@@ -36,20 +36,65 @@ makeParams(LsuMode mode, bool big_window)
     return p;
 }
 
-OooCore::OooCore(const UarchParams &params_, const Program &program)
+namespace {
+
+/** Smallest power of two >= @p n (n >= 1). */
+std::size_t
+nextPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Livelock-guard cycle bound: total * 1000 + 1000000, saturating at
+ * UINT64_MAX instead of wrapping for astronomically large
+ * instruction budgets (a wrapped bound would fire the assert on the
+ * very first cycle).
+ */
+std::uint64_t
+livelockBound(std::uint64_t total)
+{
+    constexpr std::uint64_t max = ~std::uint64_t(0);
+    constexpr std::uint64_t slack = 1000000;
+    if (total > (max - slack) / 1000)
+        return max;
+    return total * 1000 + slack;
+}
+
+} // anonymous namespace
+
+OooCore::OooCore(const UarchParams &params_,
+                 std::shared_ptr<const Program> program)
     : params(params_), stream(program), rename(params_.numPhysRegs),
       mem(params_.memsys), branchPred(params_.branch),
       sq(params_.sqSize), storeSets(params_.storeSets),
       srq(256), bypassPred(params_.bypass), tssbf(params_.tssbf)
 {
-    for (const auto &[base, bytes] : program.initData)
+    fetchQueue.setCapacity(params.fetchBufferSize);
+    rob.setCapacity(params.robSize);
+    iqWaiting.reserve(params.iqSize + params.renameWidth);
+    // Every in-flight store occupies a ROB entry, so a power-of-two
+    // ring of at least robSize entries can never alias two live SSNs.
+    storeSeqRing.assign(nextPow2(std::max<std::size_t>(
+                            params.robSize, 1)), 0);
+    storeSeqMask = storeSeqRing.size() - 1;
+    for (const auto &[base, bytes] : program->initData)
         image.writeBytes(base, bytes.data(), bytes.size());
+}
+
+OooCore::OooCore(const UarchParams &params_, const Program &program)
+    : OooCore(params_, std::make_shared<const Program>(program))
+{
 }
 
 SimResult
 OooCore::run(std::uint64_t max_insts, std::uint64_t warmup_insts)
 {
     const std::uint64_t total = max_insts + warmup_insts;
+    const std::uint64_t cycle_bound = livelockBound(total);
     Cycle cycle_base = 0;
 
     if (warmup_insts > 0) {
@@ -60,7 +105,7 @@ OooCore::run(std::uint64_t max_insts, std::uint64_t warmup_insts)
             tick();
             if (traceExhausted && rob.empty() && fetchQueue.empty())
                 break;
-            nosq_assert(cycle < total * 1000 + 1000000,
+            nosq_assert(cycle < cycle_bound,
                         "simulation livelock suspected");
         }
         res = SimResult();
@@ -72,7 +117,7 @@ OooCore::run(std::uint64_t max_insts, std::uint64_t warmup_insts)
         tick();
         if (traceExhausted && rob.empty() && fetchQueue.empty())
             break;
-        nosq_assert(cycle < total * 1000 + 1000000,
+        nosq_assert(cycle < cycle_bound,
                     "simulation livelock suspected");
     }
     res.cycles = cycle - cycle_base;
@@ -107,8 +152,7 @@ OooCore::doFetch()
     unsigned branches = 0;
     bool taken_seen = false;
 
-    while (fetched < params.fetchWidth &&
-           fetchQueue.size() < params.fetchBufferSize) {
+    while (fetched < params.fetchWidth && !fetchQueue.full()) {
         if (!stream.hasNext()) {
             traceExhausted = true;
             break;
@@ -129,14 +173,21 @@ OooCore::doFetch()
             }
         }
 
-        Inflight inf;
+        // Per-cycle branch limits end the fetch group before the
+        // instruction is consumed (checked before the queue slot is
+        // claimed: a broken-off instruction must leave no ghost
+        // entry behind).
+        if (di.isBranch() &&
+            (branches == params.maxBranchesPerCycle || taken_seen)) {
+            break; // fetch past only one taken branch per cycle
+        }
+
+        // Fill the ring slot in place: Inflight is the pipeline's
+        // largest struct and this loop runs every cycle.
+        Inflight &inf = fetchQueue.emplaceBack();
         inf.di = di;
 
         if (di.isBranch()) {
-            if (branches == params.maxBranchesPerCycle)
-                break;
-            if (taken_seen)
-                break; // fetch past only one taken branch per cycle
             ++branches;
             const auto pred = branchPred.predictAndUpdate(
                 di.pc, di.si.op, di.taken, di.npc);
@@ -154,7 +205,6 @@ OooCore::doFetch()
 
         inf.pathHash = pathHist.raw();
         inf.renameReady = cycle + params.fetchToRename;
-        fetchQueue.push_back(inf);
         stream.next();
         ++fetched;
 
@@ -188,8 +238,9 @@ OooCore::flushAfter(InstSeq boundary_seq)
         if (inf.di.isStore()) {
             nosq_assert(ssn.rename == inf.di.ssn,
                         "SSN rewind out of order");
+            // Rewinding SSNrename implicitly retires the squashed
+            // store's storeSeqRing entry (live range check).
             --ssn.rename;
-            inflightStoreSeq.erase(inf.di.ssn);
             if (!params.isNosq())
                 sq.squashAfter(boundary_seq);
         }
@@ -197,8 +248,13 @@ OooCore::flushAfter(InstSeq boundary_seq)
             --iqCount;
         if (!params.isNosq() && inf.di.isLoad())
             --lqOccupancy;
-        rob.pop_back();
+        rob.popBack();
     }
+
+    // Squashed issue candidates: iqWaiting is seq-ascending, so the
+    // squashed set is exactly its tail.
+    while (!iqWaiting.empty() && iqWaiting.back() > boundary_seq)
+        iqWaiting.pop_back();
 
     // Un-renamed fetched instructions are simply dropped.
     fetchQueue.clear();
@@ -226,21 +282,22 @@ OooCore::flushAfter(InstSeq boundary_seq)
 Inflight *
 OooCore::findStoreBySsn(SSN target)
 {
-    const auto it = inflightStoreSeq.find(target);
-    if (it == inflightStoreSeq.end())
+    // Live range check replaces the map-membership test: a ring
+    // entry is valid iff its store renamed and has neither committed
+    // nor been squashed (squash rewinds ssn.rename past it).
+    if (target <= ssn.commit || target > ssn.rename)
         return nullptr;
+    const InstSeq seq = storeSeqRing[target & storeSeqMask];
     if (rob.empty())
         return nullptr;
     const InstSeq front_seq = rob.front().di.seq;
-    if (it->second < front_seq)
+    if (seq < front_seq)
         return nullptr;
-    const std::size_t pos =
-        static_cast<std::size_t>(it->second - front_seq);
+    const std::size_t pos = static_cast<std::size_t>(seq - front_seq);
     if (pos >= rob.size())
         return nullptr;
-    Inflight &inf = rob[pos];
-    nosq_assert(inf.di.seq == it->second,
-                "ROB seq indexing broken");
+    Inflight &inf = rob.at(pos);
+    nosq_assert(inf.di.seq == seq, "ROB seq indexing broken");
     return &inf;
 }
 
@@ -254,28 +311,18 @@ OooCore::readImage(Addr addr, unsigned size, Opcode op) const
 void
 OooCore::recordCommOracle(const DynInst &di)
 {
-    if (di.isStore()) {
-        recentStoreSizes[di.seq] = di.size;
-        recentStoreOrder.push_back(di.seq);
-        if (recentStoreOrder.size() > 4 * comm_window) {
-            recentStoreSizes.erase(recentStoreOrder.front());
-            recentStoreOrder.pop_front();
-        }
-        return;
-    }
+    // The windowed partial-word classification is precomputed by the
+    // functional simulator (DynInst::oraclePartial): commit order of
+    // the stores older than a load is their program order, so the
+    // functional-time recent-store window is exactly the
+    // retirement-time one this used to maintain as a map + deque.
     if (!di.isLoad())
         return;
     const std::uint64_t wseq = di.youngestWriterSeq();
-    if (wseq == 0 || di.seq - wseq >= comm_window)
+    if (wseq == 0 || di.seq - wseq >= comm_oracle_window)
         return;
     ++res.commLoads;
-    bool partial = di.size < 8;
-    for (unsigned i = 0; i < di.size && !partial; ++i) {
-        const auto it = recentStoreSizes.find(di.byteWriterSeq[i]);
-        if (it != recentStoreSizes.end() && it->second < 8)
-            partial = true;
-    }
-    if (partial)
+    if (di.oraclePartial)
         ++res.partialCommLoads;
 }
 

@@ -22,9 +22,10 @@
 #ifndef NOSQ_OOO_CORE_HH
 #define NOSQ_OOO_CORE_HH
 
-#include <deque>
-#include <unordered_map>
+#include <memory>
+#include <vector>
 
+#include "common/circular_buffer.hh"
 #include "frontend/branch_predictor.hh"
 #include "lsu/store_queue.hh"
 #include "lsu/store_sets.hh"
@@ -111,6 +112,15 @@ struct Inflight
 class OooCore
 {
   public:
+    /**
+     * Borrow a shared program: the sweep engine synthesizes each
+     * program once (workload/program_cache.hh) and runs many cores
+     * over it concurrently, so the core never copies the program.
+     */
+    OooCore(const UarchParams &params,
+            std::shared_ptr<const Program> program);
+
+    /** Copying convenience overload (tests, examples, temporaries). */
     OooCore(const UarchParams &params, const Program &program);
 
     /**
@@ -183,15 +193,31 @@ class OooCore
 
     // --- instruction supply -------------------------------------------------
     TraceStream stream;
-    std::deque<Inflight> fetchQueue;
+    /** Preallocated ring sized to UarchParams::fetchBufferSize. */
+    CircularBuffer<Inflight> fetchQueue;
     bool traceExhausted = false;
     Cycle fetchStalledUntil = 0;
     InstSeq redirectWaitSeq = 0; // mispredicted branch being awaited
 
     // --- window -------------------------------------------------------------
-    std::deque<Inflight> rob;
+    /**
+     * Preallocated ring sized to UarchParams::robSize. ROB entries
+     * hold contiguous dynamic seqs oldest-to-youngest, so position
+     * lookup is seq - front seq (findStoreBySsn, doIssue).
+     */
+    CircularBuffer<Inflight> rob;
     std::size_t backendCount = 0; // rob entries already in back-end
     unsigned iqCount = 0;
+    /**
+     * Issue-candidate index: the dynamic seqs of ROB entries that are
+     * in the issue queue and not yet issued, ascending (insertion
+     * order == rename order == seq order). doIssue walks and
+     * compacts this instead of scanning the whole window every
+     * cycle; flushAfter truncates the squashed tail. Selection order
+     * is identical to the full ROB scan it replaced, because both
+     * visit waiting entries oldest first.
+     */
+    std::vector<InstSeq> iqWaiting;
 
     // --- register state -----------------------------------------------------
     RenameState rename;
@@ -216,14 +242,19 @@ class OooCore
 
     // --- SSN state ----------------------------------------------------------
     SsnState ssn;
-    std::unordered_map<SSN, InstSeq> inflightStoreSeq;
+    /**
+     * In-flight store directory: SSN -> dynamic seq, stored in a ring
+     * indexed by the SSN's low bits (the SRQ idiom: SSNs are dense
+     * and monotonic, and squash recovery is free because rewinding
+     * SSNrename implicitly discards squashed entries). An entry is
+     * live iff ssn.commit < SSN <= ssn.rename; the ring capacity (a
+     * power of two >= robSize >= in-flight stores) guarantees live
+     * entries never alias.
+     */
+    std::vector<InstSeq> storeSeqRing;
+    std::size_t storeSeqMask = 0;
     /** SPCT: committed-store SSN -> PC (for StoreSets training). */
     std::vector<Addr> spct;
-
-    // --- oracle comm measurement (Table 5) ----------------------------------
-    static constexpr unsigned comm_window = 128;
-    std::unordered_map<std::uint64_t, unsigned> recentStoreSizes;
-    std::deque<std::uint64_t> recentStoreOrder;
 
     // --- results ------------------------------------------------------------
     SimResult res;

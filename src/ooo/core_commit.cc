@@ -33,7 +33,7 @@ OooCore::doBackendEntry()
     bool load_agen_used = false;
 
     while (entered < params.commitWidth && backendCount < rob.size()) {
-        Inflight &inf = rob[backendCount];
+        Inflight &inf = rob.at(backendCount);
         if (!inf.completed(cycle))
             break;
         const DynInst &di = inf.di;
@@ -202,10 +202,11 @@ OooCore::doRetire()
 
         if (di.isStore()) {
             image.write(di.addr, di.size, di.memValue);
+            // Advancing SSNcommit implicitly retires the store's
+            // storeSeqRing entry (live range check).
             ++ssn.commit;
             nosq_assert(ssn.commit == di.ssn,
                         "out-of-order store commit");
-            inflightStoreSeq.erase(di.ssn);
             if (!params.isNosq())
                 sq.commitOldest(di.ssn);
             if (spct.empty())
@@ -233,7 +234,7 @@ OooCore::doRetire()
         ++committed;
         stream.retireUpTo(di.seq);
         --backendCount;
-        rob.pop_front();
+        rob.dropFront();
         if (flushed)
             break;
     }

@@ -108,15 +108,28 @@ OooCore::executeStore(Inflight &inf)
 void
 OooCore::doIssue()
 {
+    if (iqWaiting.empty())
+        return;
+
     unsigned total = 0;
     unsigned n_simple = 0, n_complex = 0, n_branch = 0;
     unsigned n_load = 0, n_store = 0;
 
-    for (std::size_t i = 0;
-         i < rob.size() && total < params.issueWidth; ++i) {
-        Inflight &inf = rob[i];
-        if (!inf.inIq || inf.issued)
+    // Walk the issue-candidate index (seq-ascending, so oldest first
+    // exactly like the full ROB scan this replaced) and compact it in
+    // place: issued entries drop out, everything else stays in order.
+    const InstSeq front_seq = rob.front().di.seq;
+    std::size_t keep = 0;
+    for (std::size_t k = 0; k < iqWaiting.size(); ++k) {
+        const InstSeq seq = iqWaiting[k];
+        if (total >= params.issueWidth) {
+            iqWaiting[keep++] = seq;
             continue;
+        }
+        Inflight &inf =
+            rob.at(static_cast<std::size_t>(seq - front_seq));
+        nosq_assert(inf.di.seq == seq && inf.inIq && !inf.issued,
+                    "stale issue candidate");
 
         // Per-class issue limits (Section 4.1).
         const InstClass cls = inf.isShiftUop
@@ -145,12 +158,11 @@ OooCore::doIssue()
             limit = params.issueStore;
             break;
         }
-        if (*count >= limit)
+        if (*count >= limit || !sourcesReady(inf) ||
+            (cls == InstClass::Load && !loadMayIssue(inf))) {
+            iqWaiting[keep++] = seq;
             continue;
-        if (!sourcesReady(inf))
-            continue;
-        if (cls == InstClass::Load && !loadMayIssue(inf))
-            continue;
+        }
 
         // --- issue ------------------------------------------------------
         inf.issued = true;
@@ -185,6 +197,7 @@ OooCore::doIssue()
             rename.setReadyAt(inf.physDst, cycle + effective);
         }
     }
+    iqWaiting.resize(keep);
 }
 
 } // namespace nosq

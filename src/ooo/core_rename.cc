@@ -17,12 +17,20 @@ OooCore::doRename()
         Inflight &inf = fetchQueue.front();
         if (inf.renameReady > cycle)
             break;
-        if (rob.size() >= params.robSize)
+        if (rob.full())
             break;
         if (!renameOne(inf))
             break; // structural stall
-        rob.push_back(inf);
-        fetchQueue.pop_front();
+        Inflight &entry = rob.pushBack(inf);
+        // Newly renamed IQ entries are by construction not yet
+        // issued: register them as issue candidates.
+        if (entry.inIq) {
+            nosq_assert(iqWaiting.empty() ||
+                            iqWaiting.back() < entry.di.seq,
+                        "issue-candidate index out of order");
+            iqWaiting.push_back(entry.di.seq);
+        }
+        fetchQueue.dropFront();
         ++renamed;
     }
 }
@@ -210,7 +218,7 @@ OooCore::renameStore(Inflight &inf)
     const DynInst &di = inf.di;
     ++ssn.rename;
     nosq_assert(ssn.rename == di.ssn, "SSN diverged from oracle");
-    inflightStoreSeq[di.ssn] = di.seq;
+    storeSeqRing[di.ssn & storeSeqMask] = di.seq;
 
     if (params.isNosq()) {
         // Table 3: SRQ[SSN].dtag = RAT[st.dreg]; the store is marked

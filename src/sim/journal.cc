@@ -11,6 +11,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fnv.hh"
+
 #include "common/logging.hh"
 #include "sim/report.hh"
 
@@ -22,56 +24,9 @@ constexpr const char *journal_schema = "nosq-journal-v1";
 
 // --- fingerprinting --------------------------------------------------------
 
-/**
- * FNV-1a 64 accumulator over a canonical "key=value|" text. Hashing
- * text instead of struct bytes keeps the fingerprint independent of
- * padding, field order in memory, and ABI.
- */
-class Fnv
-{
-  public:
-    void
-    text(const std::string &s)
-    {
-        // Length prefix rather than a delimiter byte: with a
-        // delimiter, adjacent free-form fields could absorb each
-        // other's bytes ("A|B" + "C" vs "A" + "B|C") and distinct
-        // tuples would collide.
-        std::uint64_t n = s.size();
-        for (int i = 0; i < 8; ++i) {
-            byte(static_cast<unsigned char>(n & 0xff));
-            n >>= 8;
-        }
-        for (const char c : s)
-            byte(static_cast<unsigned char>(c));
-    }
-
-    void
-    field(const char *key, std::uint64_t value)
-    {
-        text(std::string(key) + '=' + std::to_string(value));
-    }
-
-    std::string
-    hex() const
-    {
-        static const char digits[] = "0123456789abcdef";
-        std::string out(16, '0');
-        for (int i = 0; i < 16; ++i)
-            out[i] = digits[(hash >> (60 - 4 * i)) & 0xf];
-        return out;
-    }
-
-  private:
-    void
-    byte(unsigned char b)
-    {
-        hash ^= b;
-        hash *= 0x100000001b3ull;
-    }
-
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-};
+// The FNV-1a accumulator lives in common/fnv.hh (shared with the
+// program cache); the byte-feeding discipline there must stay
+// stable, because the fingerprints below are persisted in journals.
 
 /** Every UarchParams field, nested component configs included. */
 void

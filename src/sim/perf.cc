@@ -1,0 +1,102 @@
+#include "sim/perf.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "ooo/core.hh"
+#include "sim/report.hh"
+#include "sim/sweep.hh"
+#include "workload/profiles.hh"
+#include "workload/program_cache.hh"
+
+namespace nosq {
+
+namespace {
+
+/** The reference perf workload's benchmark pair (see perf.hh). */
+const char *const perf_benchmarks[] = {"gcc", "g721.e"};
+
+} // anonymous namespace
+
+PerfReport
+runPerfHarness(std::uint64_t insts, std::uint64_t warmup)
+{
+    using clock = std::chrono::steady_clock;
+
+    PerfReport report;
+    report.insts = insts ? insts : defaultSimInsts();
+    report.warmup = warmup == ~std::uint64_t(0) ? report.insts / 3
+                                                : warmup;
+
+    const std::vector<SweepConfig> configs =
+        paperFigureConfigs(/*big_window=*/false);
+
+    const auto harness_start = clock::now();
+    for (const char *bench : perf_benchmarks) {
+        const BenchmarkProfile *profile = findProfile(bench);
+        nosq_assert(profile != nullptr,
+                    "perf reference benchmark missing");
+        const auto program =
+            ProgramCache::global().get(*profile, /*seed=*/1);
+        for (const SweepConfig &config : configs) {
+            const auto start = clock::now();
+            OooCore core(config.materialize(), program);
+            const SimResult sim =
+                core.run(report.insts, report.warmup);
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    clock::now() - start).count();
+
+            PerfRun run;
+            run.benchmark = profile->name;
+            run.config = config.name;
+            // sim.insts is the measured phase only; the warm-up
+            // instructions were simulated (and paid for) too.
+            run.simInsts = sim.insts + report.warmup;
+            run.cycles = sim.cycles;
+            run.wallMs = wall_ms;
+            run.mips = wall_ms > 0.0
+                ? static_cast<double>(run.simInsts) / wall_ms / 1e3
+                : 0.0;
+            report.totalSimInsts += run.simInsts;
+            report.runs.push_back(std::move(run));
+        }
+    }
+    report.totalWallMs =
+        std::chrono::duration<double, std::milli>(
+            clock::now() - harness_start).count();
+    report.mips = report.totalWallMs > 0.0
+        ? static_cast<double>(report.totalSimInsts) /
+            report.totalWallMs / 1e3
+        : 0.0;
+    return report;
+}
+
+std::string
+perfReportJson(const PerfReport &report)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"nosq-bench-core-v1\",\n";
+    out += "  \"insts\": " + std::to_string(report.insts) + ",\n";
+    out += "  \"warmup\": " + std::to_string(report.warmup) + ",\n";
+    out += "  \"runs\": [\n";
+    for (std::size_t i = 0; i < report.runs.size(); ++i) {
+        const PerfRun &run = report.runs[i];
+        out += "    {\"benchmark\": \"" + jsonEscape(run.benchmark) +
+            "\", \"config\": \"" + jsonEscape(run.config) +
+            "\", \"sim_insts\": " + std::to_string(run.simInsts) +
+            ", \"cycles\": " + std::to_string(run.cycles) +
+            ", \"wall_ms\": " + jsonNumber(run.wallMs) +
+            ", \"mips\": " + jsonNumber(run.mips) + "}";
+        out += i + 1 < report.runs.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    out += "  \"total\": {\"sim_insts\": " +
+        std::to_string(report.totalSimInsts) +
+        ", \"wall_ms\": " + jsonNumber(report.totalWallMs) +
+        ", \"mips\": " + jsonNumber(report.mips) + "}\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace nosq

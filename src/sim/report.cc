@@ -159,6 +159,22 @@ computeReductions(const std::vector<RunResult> &results,
 
 // --- emission --------------------------------------------------------------
 
+bool
+writeTextFile(const std::string &path, const std::string &contents)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return false;
+    }
+    const bool wrote = std::fputs(contents.c_str(), f) >= 0;
+    if (std::fclose(f) != 0 || !wrote) {
+        std::fprintf(stderr, "error writing '%s'\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
 std::string
 jsonEscape(const std::string &s)
 {

@@ -156,6 +156,15 @@ forEachSimCounter(SimResultT &r, Fn &&fn)
     fn("ssn_wrap_drains", r.ssnWrapDrains);
 }
 
+/**
+ * Write @p contents to @p path, failing loudly on any short write
+ * (full disk, quota): a truncated report would poison trajectory
+ * tooling. On failure, prints a message to stderr naming @p path.
+ * @return true on a complete, clean write
+ */
+bool writeTextFile(const std::string &path,
+                   const std::string &contents);
+
 /** Escape @p s for inclusion in a JSON string literal. */
 std::string jsonEscape(const std::string &s);
 

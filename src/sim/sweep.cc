@@ -8,7 +8,7 @@
 #include "common/logging.hh"
 #include "ooo/core.hh"
 #include "sim/journal.hh"
-#include "workload/generator.hh"
+#include "workload/program_cache.hh"
 
 namespace nosq {
 
@@ -265,8 +265,10 @@ runOne(const SweepJob &job)
     }
     nosq_assert(job.profile != nullptr,
                 "sweep job needs a profile or a custom runner");
-    const Program program = synthesize(*job.profile, job.seed);
-    OooCore core(job.params, program);
+    // Each program is synthesized once per (profile, seed) and
+    // shared const across every job and worker that replays it.
+    OooCore core(job.params,
+                 ProgramCache::global().get(*job.profile, job.seed));
     result.sim = core.run(job.insts, job.warmup);
     return result;
 }

@@ -6,13 +6,18 @@
 
 namespace nosq {
 
-FunctionalSim::FunctionalSim(const Program &program)
-    : prog(program), currentPc(program.entryPc)
+FunctionalSim::FunctionalSim(std::shared_ptr<const Program> program)
+    : prog(std::move(program)), currentPc(prog->entryPc)
 {
-    for (const auto &[base, bytes] : prog.initData)
+    for (const auto &[base, bytes] : prog->initData)
         mem.writeBytes(base, bytes.data(), bytes.size());
     // A distant, initially-zero stack.
     regFile[reg_sp] = 0x7ff0'0000;
+}
+
+FunctionalSim::FunctionalSim(const Program &program)
+    : FunctionalSim(std::make_shared<const Program>(program))
+{
 }
 
 std::uint64_t
@@ -75,12 +80,15 @@ FunctionalSim::aluResult(const Instruction &si) const
 }
 
 bool
-FunctionalSim::step(DynInst &out)
+FunctionalSim::step(DynInst &out, OracleBytes *bytes)
 {
     if (isHalted)
         return false;
 
-    const Instruction &si = prog.fetch(currentPc);
+    if (bytes != nullptr)
+        *bytes = OracleBytes();
+
+    const Instruction &si = prog->fetch(currentPc);
 
     out = DynInst();
     out.seq = ++seqCounter;
@@ -99,11 +107,45 @@ FunctionalSim::step(DynInst &out)
         out.memValue = mem.read(addr, size);
         out.loadValue = extendValue(out.memValue, size,
                                     loadExtend(si.op));
+
+        // Precompute the dependence-oracle summary the timing model
+        // consumes: youngest writer, single-writer coverage, and the
+        // windowed partial-word classification. The recent-store
+        // window here replicates the retirement-side pruning bound
+        // exactly (the simulated commit order of the instructions
+        // older than this load IS their program order, so membership
+        // is identical): a writer store is "recent" iff it is among
+        // the last comm_oracle_stores stores.
+        const InstSeq floor_seq =
+            ssnCounter <= comm_oracle_stores
+                ? 1
+                : recentStoreSeqs[(ssnCounter + 1) %
+                                  comm_oracle_stores];
+        std::uint32_t ys_ssn = 0, ys_seq = 0;
+        std::uint32_t first_ssn = 0;
+        bool single = true;
+        bool partial = size < 8;
         for (unsigned i = 0; i < size; ++i) {
             const ByteWriter w = shadow.writer(addr + i);
-            out.byteWriterSsn[i] = w.ssn;
-            out.byteWriterSeq[i] = w.seq;
+            if (bytes != nullptr) {
+                bytes->writerSsn[i] = w.ssn;
+                bytes->writerSeq[i] = w.seq;
+            }
+            if (i == 0)
+                first_ssn = w.ssn;
+            else if (w.ssn != first_ssn)
+                single = false;
+            ys_ssn = std::max(ys_ssn, w.ssn);
+            ys_seq = std::max(ys_seq, w.seq);
+            if (!partial && w.seq != 0 && w.seq >= floor_seq &&
+                w.size < 8) {
+                partial = true;
+            }
         }
+        out.oracleWriterSsn = ys_ssn;
+        out.oracleWriterSeq = ys_seq;
+        out.oracleSingleWriter = first_ssn != 0 && single;
+        out.oraclePartial = partial;
         regFile[si.rd] = out.loadValue;
         break;
       }
@@ -122,6 +164,7 @@ FunctionalSim::step(DynInst &out)
             ? raw : (raw & ((1ull << (size * 8)) - 1));
         mem.write(addr, size, raw);
         shadow.recordStore(addr, size, out.ssn, out.seq);
+        recentStoreSeqs[out.ssn % comm_oracle_stores] = out.seq;
         break;
       }
       case InstClass::Branch: {
@@ -177,6 +220,11 @@ FunctionalSim::step(DynInst &out)
     regFile[reg_zero] = 0;
     currentPc = out.npc;
     return true;
+}
+
+TraceStream::TraceStream(std::shared_ptr<const Program> program)
+    : func(std::move(program))
+{
 }
 
 TraceStream::TraceStream(const Program &program)

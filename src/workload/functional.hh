@@ -13,6 +13,7 @@
 
 #include <array>
 #include <deque>
+#include <memory>
 
 #include "isa/program.hh"
 #include "workload/memory.hh"
@@ -24,15 +25,24 @@ namespace nosq {
 class FunctionalSim
 {
   public:
+    /**
+     * Borrow a shared program (the normal path: sweeps run many
+     * cores over one synthesized program, see workload/program_cache.hh).
+     */
+    explicit FunctionalSim(std::shared_ptr<const Program> program);
+
+    /** Copying convenience overload, so callers may pass temporaries. */
     explicit FunctionalSim(const Program &program);
 
     /**
      * Execute one instruction.
      *
      * @param out receives the dynamic instruction record
+     * @param bytes if non-null, receives the per-byte last-writer
+     *        detail for loads (zeroed for everything else)
      * @return false once the program has halted (out is not written)
      */
-    bool step(DynInst &out);
+    bool step(DynInst &out, OracleBytes *bytes = nullptr);
 
     bool halted() const { return isHalted; }
     Addr pc() const { return currentPc; }
@@ -52,9 +62,10 @@ class FunctionalSim
   private:
     std::uint64_t aluResult(const Instruction &si) const;
 
-    // Held by value so callers may pass temporaries; programs are a
-    // few kilobytes of code plus init images.
-    const Program prog;
+    // Shared-const so one synthesized program serves many concurrent
+    // simulations without a per-core copy (the copying constructor
+    // still allows temporaries).
+    std::shared_ptr<const Program> prog;
     Addr currentPc;
     std::array<std::uint64_t, num_arch_regs> regFile{};
     SparseMemory mem;
@@ -62,6 +73,16 @@ class FunctionalSim
     InstSeq seqCounter = 0;
     SSN ssnCounter = 0;
     bool isHalted = false;
+
+    /**
+     * Ring of the last comm_oracle_stores store seqs, indexed by
+     * store ordinal (the SSN) modulo the ring size: the communication
+     * oracle's recent-store window, maintained here so DynInst can
+     * carry the precomputed partial-word classification instead of
+     * the per-byte arrays the timing core used to rescan at
+     * retirement.
+     */
+    std::array<InstSeq, comm_oracle_stores> recentStoreSeqs{};
 };
 
 /**
@@ -74,6 +95,7 @@ class FunctionalSim
 class TraceStream
 {
   public:
+    explicit TraceStream(std::shared_ptr<const Program> program);
     explicit TraceStream(const Program &program);
 
     /** @return true if an instruction is available at the cursor. */

@@ -52,16 +52,26 @@ class SparseMemory
     std::uint8_t
     readByte(Addr addr) const
     {
-        const auto it = pages.find(addr >> page_bits);
-        if (it == pages.end())
-            return 0;
-        return (*it->second)[addr & page_mask];
+        const Addr tag = addr >> page_bits;
+        if (tag != cachedTag || cachedPage == nullptr) {
+            const auto it = pages.find(tag);
+            if (it == pages.end())
+                return 0;
+            cachedTag = tag;
+            cachedPage = it->second.get();
+        }
+        return (*cachedPage)[addr & page_mask];
     }
 
     void
     writeByte(Addr addr, std::uint8_t byte)
     {
-        page(addr)[addr & page_mask] = byte;
+        const Addr tag = addr >> page_bits;
+        if (tag != cachedTag || cachedPage == nullptr) {
+            cachedPage = &page(addr);
+            cachedTag = tag;
+        }
+        (*cachedPage)[addr & page_mask] = byte;
     }
 
     void
@@ -88,6 +98,16 @@ class SparseMemory
     }
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+
+    // Last-page cache: accesses are byte-granular on the simulator's
+    // hottest path, and successive bytes almost always share a page,
+    // so one tag check replaces a hash lookup per byte. Pages are
+    // never freed and live behind unique_ptr, so the cached pointer
+    // survives map rehashes. Only present pages are cached (a miss
+    // on an unwritten page stays a map lookup); writeByte refreshes
+    // the cache when it materializes a page.
+    mutable Addr cachedTag = ~Addr(0);
+    mutable Page *cachedPage = nullptr;
 };
 
 /** Last-writer record for one byte of memory. */
@@ -97,6 +117,8 @@ struct ByteWriter
     std::uint32_t ssn = 0;
     /** Low 32 bits of the writing store's dynamic sequence number. */
     std::uint32_t seq = 0;
+    /** The writing store's access size in bytes (1/2/4/8). */
+    std::uint8_t size = 0;
 
     bool valid() const { return ssn != 0; }
 };
@@ -117,6 +139,7 @@ class ShadowMemory
             ByteWriter &w = byte(addr + i);
             w.ssn = static_cast<std::uint32_t>(ssn);
             w.seq = static_cast<std::uint32_t>(seq);
+            w.size = static_cast<std::uint8_t>(size);
         }
     }
 
@@ -124,10 +147,15 @@ class ShadowMemory
     ByteWriter
     writer(Addr addr) const
     {
-        const auto it = pages.find(addr >> page_bits);
-        if (it == pages.end())
-            return ByteWriter();
-        return (*it->second)[addr & page_mask];
+        const Addr tag = addr >> page_bits;
+        if (tag != cachedTag || cachedPage == nullptr) {
+            const auto it = pages.find(tag);
+            if (it == pages.end())
+                return ByteWriter();
+            cachedTag = tag;
+            cachedPage = it->second.get();
+        }
+        return (*cachedPage)[addr & page_mask];
     }
 
   private:
@@ -136,13 +164,22 @@ class ShadowMemory
     ByteWriter &
     byte(Addr addr)
     {
-        auto &slot = pages[addr >> page_bits];
-        if (!slot)
-            slot = std::make_unique<Page>();
-        return (*slot)[addr & page_mask];
+        const Addr tag = addr >> page_bits;
+        if (tag != cachedTag || cachedPage == nullptr) {
+            auto &slot = pages[tag];
+            if (!slot)
+                slot = std::make_unique<Page>();
+            cachedTag = tag;
+            cachedPage = slot.get();
+        }
+        return (*cachedPage)[addr & page_mask];
     }
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+
+    // Same last-page cache as SparseMemory (see there for safety).
+    mutable Addr cachedTag = ~Addr(0);
+    mutable Page *cachedPage = nullptr;
 };
 
 } // namespace nosq

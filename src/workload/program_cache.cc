@@ -1,0 +1,138 @@
+#include "workload/program_cache.hh"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "common/fnv.hh"
+#include "workload/generator.hh"
+
+namespace nosq {
+
+namespace {
+
+/** Hash a double by bit pattern (profiles are static literals). */
+void
+doubleField(Fnv &fnv, const char *key, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    fnv.field(key, bits);
+}
+
+} // anonymous namespace
+
+std::uint64_t
+profileFingerprint(const BenchmarkProfile &profile)
+{
+    Fnv fnv;
+    fnv.text(profile.name);
+    fnv.field("suite", static_cast<std::uint64_t>(profile.suite));
+    doubleField(fnv, "pctComm", profile.pctComm);
+    doubleField(fnv, "pctPartial", profile.pctPartial);
+    doubleField(fnv, "wSpill", profile.wSpill);
+    doubleField(fnv, "wLoop", profile.wLoop);
+    doubleField(fnv, "wPath", profile.wPath);
+    doubleField(fnv, "wCall", profile.wCall);
+    doubleField(fnv, "wData", profile.wData);
+    doubleField(fnv, "wStruct", profile.wStruct);
+    doubleField(fnv, "wMemcpy", profile.wMemcpy);
+    doubleField(fnv, "wFpcvt", profile.wFpcvt);
+    doubleField(fnv, "wStream", profile.wStream);
+    doubleField(fnv, "wChase", profile.wChase);
+    doubleField(fnv, "computePerCall", profile.computePerCall);
+    fnv.field("streamFootprintLog2", profile.streamFootprintLog2);
+    fnv.field("chaseFootprintLog2", profile.chaseFootprintLog2);
+    doubleField(fnv, "branchNoise", profile.branchNoise);
+    fnv.field("fpFlavor", profile.fpFlavor);
+    fnv.field("codeBloat", profile.codeBloat);
+    return fnv.value();
+}
+
+std::shared_ptr<const Program>
+ProgramCache::get(const BenchmarkProfile &profile, std::uint64_t seed)
+{
+    const Key key{profileFingerprint(profile), seed};
+
+    std::shared_ptr<Entry> entry;
+    bool synthesizer = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto &slot = entries[key];
+        if (slot == nullptr) {
+            slot = std::make_shared<Entry>();
+            synthesizer = true;
+        }
+        entry = slot;
+    }
+
+    if (synthesizer) {
+        // Synthesize outside the cache lock so distinct keys
+        // synthesize in parallel; same-key waiters block on the
+        // entry's own condition variable.
+        std::shared_ptr<const Program> program;
+        try {
+            program = std::make_shared<const Program>(
+                synthesize(profile, seed));
+        } catch (...) {
+            // Never leave waiters blocked on an entry no one will
+            // fill: drop the slot (a later get() retries synthesis),
+            // mark it failed, wake everyone, and let the sweep
+            // engine's per-job isolation report this job's error.
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                entries.erase(key);
+            }
+            {
+                std::lock_guard<std::mutex> lock(entry->m);
+                entry->failed = true;
+            }
+            entry->ready.notify_all();
+            throw;
+        }
+        {
+            std::lock_guard<std::mutex> lock(entry->m);
+            entry->program = program;
+        }
+        entry->ready.notify_all();
+        missCount.fetch_add(1);
+        return program;
+    }
+
+    std::unique_lock<std::mutex> lock(entry->m);
+    entry->ready.wait(lock, [&] {
+        return entry->program != nullptr || entry->failed;
+    });
+    if (entry->failed) {
+        throw std::runtime_error(
+            std::string("program synthesis failed for '") +
+            profile.name + "' (see the synthesizing job's error)");
+    }
+    hitCount.fetch_add(1);
+    return entry->program;
+}
+
+ProgramCache &
+ProgramCache::global()
+{
+    static ProgramCache cache;
+    return cache;
+}
+
+std::size_t
+ProgramCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+void
+ProgramCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    entries.clear();
+    hitCount.store(0);
+    missCount.store(0);
+}
+
+} // namespace nosq

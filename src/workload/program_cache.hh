@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared synthesized-program cache.
+ *
+ * A sweep replays the same handful of synthesized programs across
+ * dozens of machine configurations: every (profile, seed) pair names
+ * exactly one Program (synthesis is deterministic), so synthesizing
+ * it once and sharing it immutable-const across worker threads
+ * removes both the redundant synthesis work and the per-job program
+ * copy. OooCore / FunctionalSim borrow the program through
+ * shared_ptr<const Program> and never mutate it.
+ *
+ * Keys are (profile fingerprint, seed). The fingerprint hashes every
+ * field of the BenchmarkProfile -- not just its name -- so a custom
+ * profile that happens to share a name with a table profile can never
+ * collide. The simulation length is deliberately NOT part of the key:
+ * synthesized programs loop forever and the harness decides how many
+ * instructions to run, so one cached program serves every insts
+ * value.
+ */
+
+#ifndef NOSQ_WORKLOAD_PROGRAM_CACHE_HH
+#define NOSQ_WORKLOAD_PROGRAM_CACHE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "isa/program.hh"
+#include "workload/profiles.hh"
+
+namespace nosq {
+
+/**
+ * FNV-1a 64 fingerprint over a canonical serialization of every
+ * BenchmarkProfile field (the same no-raw-struct-bytes discipline as
+ * the sweep journal's job fingerprints).
+ */
+std::uint64_t profileFingerprint(const BenchmarkProfile &profile);
+
+/** Thread-safe cache of synthesized programs. */
+class ProgramCache
+{
+  public:
+    /**
+     * Return the program for (@p profile, @p seed), synthesizing it
+     * on first use. Thread-safe: concurrent callers with the same key
+     * get the same object (one synthesizes, the rest wait);
+     * concurrent callers with different keys synthesize in parallel.
+     * If synthesis throws, the slot is dropped (a later call
+     * retries), same-key waiters wake and throw, and the original
+     * exception propagates from the synthesizing caller.
+     */
+    std::shared_ptr<const Program>
+    get(const BenchmarkProfile &profile, std::uint64_t seed);
+
+    /** The process-wide cache used by the sweep engine. */
+    static ProgramCache &global();
+
+    // --- introspection (tests, diagnostics) ---------------------------
+    /** Distinct programs cached so far. */
+    std::size_t size() const;
+    /** get() calls served from the cache. */
+    std::uint64_t hits() const { return hitCount.load(); }
+    /** get() calls that synthesized. */
+    std::uint64_t misses() const { return missCount.load(); }
+
+    /** Drop every cached program (tests). */
+    void clear();
+
+  private:
+    using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+    /** One cache slot; filled (or marked failed) once. */
+    struct Entry
+    {
+        std::mutex m;
+        std::condition_variable ready;
+        std::shared_ptr<const Program> program;
+        /** Synthesis threw; waiters rethrow instead of blocking. */
+        bool failed = false;
+    };
+
+    mutable std::mutex mutex;
+    std::map<Key, std::shared_ptr<Entry>> entries;
+    std::atomic<std::uint64_t> hitCount{0};
+    std::atomic<std::uint64_t> missCount{0};
+};
+
+} // namespace nosq
+
+#endif // NOSQ_WORKLOAD_PROGRAM_CACHE_HH

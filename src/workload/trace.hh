@@ -15,13 +15,48 @@
 namespace nosq {
 
 /**
+ * In-window communication oracle window (Table 5): a load counts as
+ * communicating when its youngest writer store is at most this many
+ * dynamic instructions older.
+ */
+constexpr unsigned comm_oracle_window = 128;
+
+/**
+ * How many recent stores the communication oracle keeps sizes for
+ * when classifying partial-word communication (the historical
+ * 4 * comm_oracle_window pruning bound of the retirement-side map
+ * this replaced; preserved exactly for bit-identical statistics).
+ */
+constexpr unsigned comm_oracle_stores = 4 * comm_oracle_window;
+
+/**
+ * Per-byte last-writer detail for one load: the SSN and dynamic
+ * sequence number of the last store that wrote each accessed byte
+ * (zero if the byte was never stored to). This is the full-resolution
+ * form of the dependence oracle; the timing model only needs the
+ * precomputed summary carried in DynInst, so the detail is produced
+ * on demand (FunctionalSim::step's optional out-parameter) and never
+ * copied through the pipeline.
+ */
+struct OracleBytes
+{
+    std::array<std::uint32_t, 8> writerSsn{};
+    std::array<std::uint32_t, 8> writerSeq{};
+};
+
+/**
  * One dynamic instruction as produced by the functional simulator.
  *
- * Loads carry the dependence oracle: for each accessed byte, the SSN
- * and dynamic sequence number of the last store that wrote it (zero if
- * the byte was never stored to). The timing model uses real values
- * (storeData / loadValue / memValue) so speculation outcomes are
- * decided by genuine value comparison, never by oracle flags.
+ * Loads carry a precomputed summary of the byte-granular dependence
+ * oracle (youngest writer, single-writer coverage, and the windowed
+ * partial-word communication classification). The timing model uses
+ * real values (storeData / loadValue / memValue) so speculation
+ * outcomes are decided by genuine value comparison, never by oracle
+ * flags.
+ *
+ * This struct is copied between pipeline stages every cycle; keep it
+ * lean. Per-byte oracle detail lives in OracleBytes, off the hot
+ * path.
  */
 struct DynInst
 {
@@ -42,9 +77,20 @@ struct DynInst
     /** Stores: the store's oracle SSN (1-based). */
     SSN ssn = 0;
 
-    // --- load dependence oracle (per accessed byte) -------------------
-    std::array<std::uint32_t, 8> byteWriterSsn{};
-    std::array<std::uint32_t, 8> byteWriterSeq{};
+    // --- load dependence oracle (precomputed summary) -----------------
+    /** Youngest writer SSN over all accessed bytes (0: none). */
+    std::uint32_t oracleWriterSsn = 0;
+    /** Youngest writer dynamic seq over all accessed bytes (0: none). */
+    std::uint32_t oracleWriterSeq = 0;
+    /** One single store wrote every accessed byte. */
+    bool oracleSingleWriter = false;
+    /**
+     * The load classifies as partial-word communication if it
+     * communicates at all: it is sub-word itself, or some accessed
+     * byte was last written by a sub-word store still inside the
+     * comm_oracle_stores recent-store window.
+     */
+    bool oraclePartial = false;
 
     // --- control flow -------------------------------------------------
     bool taken = false;
@@ -59,40 +105,17 @@ struct DynInst
      * @return the youngest writer SSN over all accessed bytes, or 0 if
      * no byte was ever written by a store.
      */
-    std::uint32_t
-    youngestWriterSsn() const
-    {
-        std::uint32_t best = 0;
-        for (unsigned i = 0; i < size; ++i)
-            best = std::max(best, byteWriterSsn[i]);
-        return best;
-    }
+    std::uint32_t youngestWriterSsn() const { return oracleWriterSsn; }
 
     /** @return the youngest writer dynamic seq, or 0. */
-    std::uint32_t
-    youngestWriterSeq() const
-    {
-        std::uint32_t best = 0;
-        for (unsigned i = 0; i < size; ++i)
-            best = std::max(best, byteWriterSeq[i]);
-        return best;
-    }
+    std::uint32_t youngestWriterSeq() const { return oracleWriterSeq; }
 
     /**
      * @return true if one single store wrote every accessed byte (the
      * bypassable case); multi-writer and partially-unwritten loads
      * return false.
      */
-    bool
-    singleWriter() const
-    {
-        if (size == 0 || byteWriterSsn[0] == 0)
-            return false;
-        for (unsigned i = 1; i < size; ++i)
-            if (byteWriterSsn[i] != byteWriterSsn[0])
-                return false;
-        return true;
-    }
+    bool singleWriter() const { return oracleSingleWriter; }
 };
 
 } // namespace nosq

@@ -25,6 +25,19 @@ runAll(const Program &prog, std::size_t limit = 100000)
     return out;
 }
 
+/** runAll() variant that also collects the per-byte oracle detail. */
+std::vector<std::pair<DynInst, OracleBytes>>
+runAllWithBytes(const Program &prog, std::size_t limit = 100000)
+{
+    FunctionalSim sim(prog);
+    std::vector<std::pair<DynInst, OracleBytes>> out;
+    DynInst di;
+    OracleBytes bytes;
+    while (out.size() < limit && sim.step(di, &bytes))
+        out.emplace_back(di, bytes);
+    return out;
+}
+
 TEST(SparseMemory, ReadWriteRoundTrip)
 {
     SparseMemory m;
@@ -222,12 +235,13 @@ TEST(Functional, OracleMultiWriter)
     b.ld2u(6, 3, 0);  // reads both
     b.halt();
     Program p = b.build();
-    const auto trace = runAll(p);
-    const DynInst &ld = trace[5];
+    const auto trace = runAllWithBytes(p);
+    const DynInst &ld = trace[5].first;
+    const OracleBytes &bytes = trace[5].second;
     ASSERT_TRUE(ld.isLoad());
     EXPECT_FALSE(ld.singleWriter());
-    EXPECT_EQ(ld.byteWriterSsn[0], 1u);
-    EXPECT_EQ(ld.byteWriterSsn[1], 2u);
+    EXPECT_EQ(bytes.writerSsn[0], 1u);
+    EXPECT_EQ(bytes.writerSsn[1], 2u);
     EXPECT_EQ(ld.youngestWriterSsn(), 2u);
     EXPECT_EQ(ld.loadValue, 0x2211u);
 }
@@ -241,11 +255,12 @@ TEST(Functional, OraclePartiallyUnwrittenIsNotSingleWriter)
     b.ld2u(5, 3, 0);
     b.halt();
     Program p = b.build();
-    const auto trace = runAll(p);
-    const DynInst &ld = trace[3];
+    const auto trace = runAllWithBytes(p);
+    const DynInst &ld = trace[3].first;
+    const OracleBytes &bytes = trace[3].second;
     EXPECT_FALSE(ld.singleWriter());
-    EXPECT_EQ(ld.byteWriterSsn[0], 1u);
-    EXPECT_EQ(ld.byteWriterSsn[1], 0u);
+    EXPECT_EQ(bytes.writerSsn[0], 1u);
+    EXPECT_EQ(bytes.writerSsn[1], 0u);
 }
 
 TEST(Functional, OracleOverwriteTracksYoungest)

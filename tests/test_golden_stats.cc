@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Golden-statistics snapshot: bit-identity gate for simulator
+ * optimizations.
+ *
+ * The values below were captured from the pre-optimization simulator
+ * (PR 4 seed state) for two contrasting benchmarks under all four
+ * LSU modes on both machine sizes, fixed seed and instruction
+ * counts. Any core change that perturbs a single simulated counter
+ * fails this test: performance work must leave every simulated
+ * statistic bit-identical. If a future PR changes simulated
+ * *behavior on purpose* (a modeling fix, a new mechanism), it must
+ * regenerate this table and say so in its description -- that is the
+ * contract that keeps accidental behavioral drift out of perf PRs.
+ *
+ * Regenerate with the loop in this file: run each row's
+ * configuration and print the counters in forEachSimCounter order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ooo/core.hh"
+#include "sim/report.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+namespace nosq {
+namespace {
+
+constexpr std::uint64_t golden_insts = 24000;
+constexpr std::uint64_t golden_warmup = 8000;
+constexpr std::uint64_t golden_seed = 1;
+constexpr std::size_t num_counters = 20;
+
+struct GoldenRow
+{
+    const char *benchmark;
+    LsuMode mode;
+    bool bigWindow;
+    std::array<std::uint64_t, num_counters> counters;
+};
+
+const GoldenRow golden_rows[] = {
+    {"gcc", LsuMode::SqPerfect, false,
+     {28530, 24000, 2175, 2234, 3347, 166,
+      36, 0, 0, 0, 0, 0,
+      0, 2179, 0, 2234, 113, 164,
+      0, 0}},
+    {"gcc", LsuMode::SqPerfect, true,
+     {17838, 24000, 2175, 2234, 3347, 166,
+      36, 0, 0, 0, 0, 0,
+      0, 2179, 0, 2234, 108, 163,
+      0, 0}},
+    {"gcc", LsuMode::SqStoreSets, false,
+     {28241, 24000, 2175, 2234, 3347, 166,
+      36, 0, 0, 0, 0, 27,
+      12, 2291, 27, 2234, 155, 152,
+      0, 0}},
+    {"gcc", LsuMode::SqStoreSets, true,
+     {18534, 24000, 2175, 2234, 3347, 166,
+      36, 0, 0, 0, 0, 30,
+      12, 2419, 30, 2234, 164, 151,
+      0, 0}},
+    {"gcc", LsuMode::Nosq, false,
+     {28402, 24000, 2175, 2234, 3347, 166,
+      36, 118, 4, 0, 18, 75,
+      18, 2235, 75, 2234, 168, 0,
+      0, 0}},
+    {"gcc", LsuMode::Nosq, true,
+     {18739, 24000, 2175, 2234, 3347, 166,
+      36, 124, 4, 0, 18, 75,
+      18, 2371, 75, 2234, 175, 0,
+      0, 0}},
+    {"gcc", LsuMode::NosqPerfect, false,
+     {28470, 24000, 2175, 2234, 3347, 166,
+      36, 164, 35, 0, 0, 0,
+      0, 2015, 0, 2234, 114, 0,
+      0, 0}},
+    {"gcc", LsuMode::NosqPerfect, true,
+     {17918, 24000, 2175, 2234, 3347, 166,
+      36, 163, 35, 0, 0, 0,
+      0, 2016, 0, 2234, 108, 0,
+      0, 0}},
+    {"g721.e", LsuMode::SqPerfect, false,
+     {31529, 24000, 1231, 1291, 3022, 85,
+      72, 0, 0, 0, 0, 0,
+      0, 1231, 0, 1291, 463, 65,
+      0, 0}},
+    {"g721.e", LsuMode::SqPerfect, true,
+     {21205, 24000, 1231, 1291, 3022, 85,
+      72, 0, 0, 0, 0, 0,
+      0, 1233, 0, 1291, 459, 65,
+      0, 0}},
+    {"g721.e", LsuMode::SqStoreSets, false,
+     {31539, 24000, 1231, 1291, 3022, 85,
+      72, 0, 0, 0, 0, 5,
+      3, 1256, 5, 1291, 472, 61,
+      37, 0}},
+    {"g721.e", LsuMode::SqStoreSets, true,
+     {21236, 24000, 1231, 1291, 3022, 85,
+      72, 0, 0, 0, 0, 5,
+      3, 1277, 5, 1291, 462, 62,
+      34, 0}},
+    {"g721.e", LsuMode::Nosq, false,
+     {31544, 24000, 1231, 1291, 3022, 85,
+      72, 40, 27, 12, 12, 50,
+      12, 1226, 50, 1291, 485, 0,
+      0, 0}},
+    {"g721.e", LsuMode::Nosq, true,
+     {21597, 24000, 1231, 1291, 3022, 85,
+      72, 43, 29, 13, 12, 50,
+      12, 1294, 50, 1291, 480, 0,
+      0, 0}},
+    {"g721.e", LsuMode::NosqPerfect, false,
+     {31585, 24000, 1231, 1291, 3022, 85,
+      72, 85, 72, 0, 0, 20,
+      0, 1146, 20, 1291, 463, 0,
+      0, 0}},
+    {"g721.e", LsuMode::NosqPerfect, true,
+     {21201, 24000, 1231, 1291, 3022, 85,
+      72, 87, 74, 0, 0, 20,
+      0, 1148, 20, 1291, 459, 0,
+      0, 0}},
+};
+
+TEST(GoldenStats, AllModesAndWindowsMatchSeedSimulator)
+{
+    for (const GoldenRow &row : golden_rows) {
+        const BenchmarkProfile *profile = findProfile(row.benchmark);
+        ASSERT_NE(profile, nullptr) << row.benchmark;
+        const Program program = synthesize(*profile, golden_seed);
+        OooCore core(makeParams(row.mode, row.bigWindow), program);
+        const SimResult r = core.run(golden_insts, golden_warmup);
+
+        std::size_t i = 0;
+        SimResult &mut = const_cast<SimResult &>(r);
+        forEachSimCounter(mut, [&](const char *name,
+                                   std::uint64_t &v) {
+            ASSERT_LT(i, num_counters);
+            EXPECT_EQ(v, row.counters[i])
+                << row.benchmark << " / " << lsuModeName(row.mode)
+                << " / w" << (row.bigWindow ? 256 : 128)
+                << " counter '" << name << "'";
+            ++i;
+        });
+        EXPECT_EQ(i, num_counters);
+    }
+}
+
+} // anonymous namespace
+} // namespace nosq

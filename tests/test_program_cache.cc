@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the shared synthesized-program cache: key identity,
+ * fingerprint sensitivity, and concurrent access.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "workload/generator.hh"
+#include "workload/program_cache.hh"
+#include "workload/profiles.hh"
+
+namespace nosq {
+namespace {
+
+TEST(ProgramCache, SameKeyReturnsSameObject)
+{
+    ProgramCache cache;
+    const BenchmarkProfile *gcc = findProfile("gcc");
+    ASSERT_NE(gcc, nullptr);
+
+    const auto a = cache.get(*gcc, 1);
+    const auto b = cache.get(*gcc, 1);
+    EXPECT_EQ(a.get(), b.get()); // shared, not equal-but-distinct
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ProgramCache, DistinctSeedsAndProfilesAreDistinctEntries)
+{
+    ProgramCache cache;
+    const BenchmarkProfile *gcc = findProfile("gcc");
+    const BenchmarkProfile *g721 = findProfile("g721.e");
+    ASSERT_NE(gcc, nullptr);
+    ASSERT_NE(g721, nullptr);
+
+    const auto a = cache.get(*gcc, 1);
+    const auto b = cache.get(*gcc, 2);
+    const auto c = cache.get(*g721, 1);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ProgramCache, CachedProgramMatchesDirectSynthesis)
+{
+    ProgramCache cache;
+    const BenchmarkProfile *gcc = findProfile("gcc");
+    ASSERT_NE(gcc, nullptr);
+
+    const auto cached = cache.get(*gcc, 7);
+    const Program direct = synthesize(*gcc, 7);
+    ASSERT_EQ(cached->code.size(), direct.code.size());
+    EXPECT_EQ(cached->entryPc, direct.entryPc);
+    for (std::size_t i = 0; i < direct.code.size(); ++i) {
+        EXPECT_EQ(cached->code[i].op, direct.code[i].op) << i;
+        EXPECT_EQ(cached->code[i].imm, direct.code[i].imm) << i;
+    }
+    EXPECT_EQ(cached->initData.size(), direct.initData.size());
+}
+
+TEST(ProgramCache, FingerprintCoversFieldsNotJustName)
+{
+    const BenchmarkProfile *gcc = findProfile("gcc");
+    ASSERT_NE(gcc, nullptr);
+    BenchmarkProfile tweaked = *gcc; // same name, different knob
+    tweaked.pctComm = gcc->pctComm + 1.0;
+    EXPECT_NE(profileFingerprint(*gcc),
+              profileFingerprint(tweaked));
+    EXPECT_EQ(profileFingerprint(*gcc), profileFingerprint(*gcc));
+
+    ProgramCache cache;
+    const auto a = cache.get(*gcc, 1);
+    const auto b = cache.get(tweaked, 1);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProgramCache, ConcurrentSameKeySynthesizesOnce)
+{
+    ProgramCache cache;
+    const BenchmarkProfile *gcc = findProfile("gcc");
+    ASSERT_NE(gcc, nullptr);
+
+    constexpr unsigned num_threads = 8;
+    std::vector<const Program *> seen(num_threads, nullptr);
+    std::vector<std::shared_ptr<const Program>> hold(num_threads);
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+        threads.emplace_back([&, t] {
+            hold[t] = cache.get(*gcc, 1);
+            seen[t] = hold[t].get();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (unsigned t = 1; t < num_threads; ++t)
+        EXPECT_EQ(seen[t], seen[0]);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.misses(), 1u); // exactly one synthesis
+    EXPECT_EQ(cache.hits(), num_threads - 1);
+}
+
+TEST(ProgramCache, ConcurrentDistinctKeysAllComplete)
+{
+    ProgramCache cache;
+    const auto &profiles = allProfiles();
+    constexpr unsigned num_threads = 6;
+    std::vector<std::thread> threads;
+    std::atomic<unsigned> ok{0};
+    for (unsigned t = 0; t < num_threads; ++t) {
+        threads.emplace_back([&, t] {
+            // Overlapping key sets across threads.
+            for (unsigned i = 0; i < 4; ++i) {
+                const auto &p = profiles[(t + i) % 8];
+                const auto prog = cache.get(p, 1 + i % 2);
+                if (prog != nullptr && prog->numInsts() > 0)
+                    ++ok;
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(ok.load(), num_threads * 4);
+    // Every get() was either the synthesizing miss or a waiter hit.
+    EXPECT_EQ(cache.hits() + cache.misses(), num_threads * 4);
+    EXPECT_EQ(cache.size(), cache.misses());
+}
+
+TEST(ProgramCache, ClearResetsState)
+{
+    ProgramCache cache;
+    const BenchmarkProfile *gcc = findProfile("gcc");
+    ASSERT_NE(gcc, nullptr);
+    const auto held = cache.get(*gcc, 1); // survives the clear
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_GT(held->numInsts(), 0u);
+    const auto fresh = cache.get(*gcc, 1);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_NE(fresh.get(), held.get());
+}
+
+} // anonymous namespace
+} // namespace nosq

@@ -46,9 +46,13 @@ measure(const Program &prog, std::uint64_t max_insts)
     FunctionalSim sim(prog);
     CommStats cs;
     // Track sizes of recent stores by dynamic seq for partial checks.
+    // This deliberately re-derives the classification from the
+    // per-byte oracle detail instead of trusting the precomputed
+    // DynInst::oraclePartial flag, so it stays an independent check.
     std::map<std::uint64_t, unsigned> store_sizes;
     DynInst di;
-    while (cs.insts < max_insts && sim.step(di)) {
+    OracleBytes bytes;
+    while (cs.insts < max_insts && sim.step(di, &bytes)) {
         ++cs.insts;
         if (di.isStore()) {
             ++cs.stores;
@@ -63,12 +67,15 @@ measure(const Program &prog, std::uint64_t max_insts)
                 bool partial = di.size < 8;
                 for (unsigned i = 0; i < di.size && !partial; ++i) {
                     const auto it =
-                        store_sizes.find(di.byteWriterSeq[i]);
+                        store_sizes.find(bytes.writerSeq[i]);
                     if (it != store_sizes.end() && it->second < 8)
                         partial = true;
                 }
                 if (partial)
                     ++cs.partialCommLoads;
+                EXPECT_EQ(partial, di.oraclePartial)
+                    << "precomputed partial flag diverged at seq "
+                    << di.seq;
             }
         }
     }

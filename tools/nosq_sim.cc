@@ -35,10 +35,11 @@
 #include "common/table.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
+#include "sim/perf.hh"
 #include "sim/report.hh"
 #include "sim/sweep.hh"
-#include "workload/generator.hh"
 #include "workload/profiles.hh"
+#include "workload/program_cache.hh"
 
 using namespace nosq;
 
@@ -119,7 +120,13 @@ usage()
         "validation mode:\n"
         "  --validate FILE       strict-parse FILE and check it\n"
         "                        against the nosq-sweep-v2 schema;\n"
-        "                        exits nonzero on any violation\n");
+        "                        exits nonzero on any violation\n"
+        "perf mode:\n"
+        "  --perf                time the simulator itself over the\n"
+        "                        reference workload (serial) and\n"
+        "                        emit nosq-bench-core-v1 JSON with\n"
+        "                        simulated MIPS to stdout; honours\n"
+        "                        --insts/--warmup and writes --out\n");
 }
 
 void
@@ -499,20 +506,8 @@ runSweepMode(const SweepOptions &opt)
                              opt.out_path.c_str());
                 return 1;
             }
-            std::FILE *f = std::fopen(opt.out_path.c_str(), "w");
-            if (f == nullptr) {
-                std::fprintf(stderr, "cannot write '%s'\n",
-                             opt.out_path.c_str());
+            if (!writeTextFile(opt.out_path, report))
                 return 1;
-            }
-            // A short write (full disk, quota) must fail loudly:
-            // a truncated report would poison trajectory tooling.
-            const bool wrote = std::fputs(report.c_str(), f) >= 0;
-            if (std::fclose(f) != 0 || !wrote) {
-                std::fprintf(stderr, "error writing '%s'\n",
-                             opt.out_path.c_str());
-                return 1;
-            }
         }
         if (opt.json) {
             std::fputs(report.c_str(), stdout);
@@ -585,6 +580,7 @@ main(int argc, char **argv)
     unsigned entries = 1024;
     std::uint64_t seed = 1;
     bool sweep = false;
+    bool perf = false;
     bool mode_set = false;
     bool window_set = false;
     bool windows_set = false;
@@ -644,6 +640,8 @@ main(int argc, char **argv)
             entries_set = true;
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--perf") {
+            perf = true;
         } else if (arg == "--sweep") {
             sweep = true;
         } else if (arg.rfind("--sweep=", 0) == 0) {
@@ -708,6 +706,23 @@ main(int argc, char **argv)
 
     if (!validate_path.empty())
         return runValidateMode(validate_path);
+
+    if (perf) {
+        if (sweep) {
+            std::fprintf(stderr, "--perf and --sweep are mutually "
+                         "exclusive\n");
+            return 1;
+        }
+        const PerfReport report = runPerfHarness(
+            insts, warmup_set ? warmup : ~std::uint64_t(0));
+        const std::string json = perfReportJson(report);
+        if (!sweep_opt.out_path.empty() &&
+            !writeTextFile(sweep_opt.out_path, json)) {
+            return 1;
+        }
+        std::fputs(json.c_str(), stdout);
+        return 0;
+    }
 
     // --history: a single length everywhere; a comma list only as
     // the --sweep=history points.
@@ -817,8 +832,7 @@ main(int argc, char **argv)
                 big_window ? 256u : 128u, delay ? "on" : "off",
                 svw ? "on" : "off");
 
-    const Program program = synthesize(*profile, seed);
-    OooCore core(params, program);
+    OooCore core(params, ProgramCache::global().get(*profile, seed));
     const SimResult r = core.run(insts, warmup);
 
     TextTable table;
