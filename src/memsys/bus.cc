@@ -1,0 +1,36 @@
+#include "memsys/bus.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nosq {
+
+Bus::Bus(Cycle transfer_cycles, bool model_occupancy)
+    : transfer(transfer_cycles), occupancy(model_occupancy)
+{
+    if (transfer == 0)
+        throw std::invalid_argument(
+            "bus: transfer time must be nonzero");
+}
+
+Cycle
+Bus::transferAt(Cycle now)
+{
+    ++numTransfers;
+    if (!occupancy)
+        return transfer;
+    const Cycle start = std::max(now, nextFree);
+    nextFree = start + transfer;
+    queued += start - now;
+    return (start - now) + transfer;
+}
+
+void
+Bus::clear()
+{
+    nextFree = 0;
+    queued = 0;
+    numTransfers = 0;
+}
+
+} // namespace nosq

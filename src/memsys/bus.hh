@@ -1,0 +1,64 @@
+/**
+ * @file
+ * L2 <-> DRAM bandwidth model.
+ *
+ * The legacy model charged every memory-bound fill a flat
+ * `busTransfer` constant, so concurrent misses never contended. This
+ * Bus keeps an occupancy horizon instead: each line transfer claims
+ * the next free transfer slot, and a transfer requested while the
+ * bus is busy queues behind the in-flight ones. With occupancy
+ * modeling disabled (the default) it degenerates to exactly the
+ * legacy flat constant, which is what keeps the golden-stats gate
+ * byte-identical.
+ */
+
+#ifndef NOSQ_MEMSYS_BUS_HH
+#define NOSQ_MEMSYS_BUS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nosq {
+
+class Bus
+{
+  public:
+    /**
+     * @param transfer_cycles cycles one line transfer occupies
+     * @param model_occupancy false: flat latency, no state
+     * @throws std::invalid_argument if transfer_cycles is zero
+     */
+    Bus(Cycle transfer_cycles, bool model_occupancy);
+
+    bool modelsOccupancy() const { return occupancy; }
+    Cycle transferCycles() const { return transfer; }
+
+    /**
+     * Claim a transfer slot for a request arriving at the bus at
+     * @p now.
+     *
+     * @return total cycles until the transfer completes (queueing
+     *         delay + transfer time); exactly transferCycles() when
+     *         occupancy modeling is off or the bus is idle
+     */
+    Cycle transferAt(Cycle now);
+
+    /** Total queueing delay accumulated across all transfers. */
+    std::uint64_t queuedCycles() const { return queued; }
+    /** Transfers performed. */
+    std::uint64_t transfers() const { return numTransfers; }
+
+    void clear();
+
+  private:
+    Cycle transfer;
+    bool occupancy;
+    Cycle nextFree = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t numTransfers = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_MEMSYS_BUS_HH

@@ -1,5 +1,7 @@
 #include "memsys/cache.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 
 namespace nosq {
@@ -13,18 +15,54 @@ isPowerOfTwo(std::uint64_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+[[noreturn]] void
+badParam(const std::string &who, const std::string &what)
+{
+    throw std::invalid_argument(who + ": " + what);
+}
+
 } // anonymous namespace
+
+void
+validateCacheParams(const CacheParams &params)
+{
+    const std::string who = "cache '" + params.name + "'";
+    if (params.lineBytes == 0 ||
+        !isPowerOfTwo(std::uint64_t(params.lineBytes)))
+        badParam(who, "line size must be a nonzero power of two "
+                 "(got " + std::to_string(params.lineBytes) + ")");
+    if (params.assoc == 0)
+        badParam(who, "associativity must be nonzero");
+    if (params.sizeBytes == 0 ||
+        params.sizeBytes % params.lineBytes != 0)
+        badParam(who, "size must be a nonzero multiple of the line "
+                 "size (got " + std::to_string(params.sizeBytes) +
+                 ")");
+    const std::size_t total_lines = params.sizeBytes /
+        params.lineBytes;
+    if (params.assoc > total_lines)
+        badParam(who, "associativity " +
+                 std::to_string(params.assoc) + " exceeds the " +
+                 std::to_string(total_lines) + " lines the size "
+                 "holds");
+    if (params.sizeBytes %
+        (std::size_t(params.lineBytes) * params.assoc) != 0)
+        badParam(who, "size must hold whole sets "
+                 "(size / (line * assoc) is not integral)");
+    const std::size_t sets = params.sizeBytes /
+        (std::size_t(params.lineBytes) * params.assoc);
+    if (!isPowerOfTwo(sets))
+        badParam(who, "set count must be a power of two (got " +
+                 std::to_string(sets) + ")");
+    if (params.hitLatency == 0)
+        badParam(who, "hit latency must be nonzero");
+}
 
 Cache::Cache(const CacheParams &params_)
     : params(params_)
 {
-    nosq_assert(params.lineBytes > 0 &&
-                isPowerOfTwo(std::uint64_t(params.lineBytes)),
-                "line size must be a power of two");
+    validateCacheParams(params);
     numSets = params.sizeBytes / (params.lineBytes * params.assoc);
-    nosq_assert(numSets > 0 &&
-                isPowerOfTwo(std::uint64_t(numSets)),
-                "set count must be a power of two");
     lines.assign(numSets * params.assoc, Line());
 }
 
@@ -40,6 +78,21 @@ Cache::tagOf(Addr addr) const
     return addr / params.lineBytes / numSets;
 }
 
+unsigned
+Cache::victimWay(std::size_t base) const
+{
+    unsigned victim = 0;
+    for (unsigned way = 1; way < params.assoc; ++way) {
+        if (!lines[base + way].valid)
+            return way;
+        if (lines[base + way].lruStamp <
+            lines[base + victim].lruStamp) {
+            victim = way;
+        }
+    }
+    return lines[base].valid ? victim : 0;
+}
+
 bool
 Cache::access(Addr addr, bool write)
 {
@@ -52,6 +105,10 @@ Cache::access(Addr addr, bool write)
         if (line.valid && line.tag == tag) {
             line.lruStamp = stamp;
             line.dirty |= write;
+            if (line.prefetched) {
+                line.prefetched = false;
+                ++numPrefUseful;
+            }
             ++numHits;
             return true;
         }
@@ -59,25 +116,37 @@ Cache::access(Addr addr, bool write)
 
     // Miss: fill into the LRU way (write-allocate).
     ++numMisses;
-    unsigned victim = 0;
-    for (unsigned way = 1; way < params.assoc; ++way) {
-        if (!lines[base + way].valid) {
-            victim = way;
-            break;
-        }
-        if (lines[base + way].lruStamp <
-            lines[base + victim].lruStamp) {
-            victim = way;
-        }
-    }
-    Line &line = lines[base + victim];
+    Line &line = lines[base + victimWay(base)];
     if (line.valid && line.dirty)
         ++numWritebacks;
     line.valid = true;
     line.dirty = write;
+    line.prefetched = false;
     line.tag = tag;
     line.lruStamp = stamp;
     return false;
+}
+
+bool
+Cache::fillPrefetch(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * params.assoc;
+    const Addr tag = tagOf(addr);
+    for (unsigned way = 0; way < params.assoc; ++way) {
+        if (lines[base + way].valid && lines[base + way].tag == tag)
+            return false; // already resident
+    }
+    ++stamp;
+    Line &line = lines[base + victimWay(base)];
+    if (line.valid && line.dirty)
+        ++numWritebacks;
+    line.valid = true;
+    line.dirty = false;
+    line.prefetched = true;
+    line.tag = tag;
+    line.lruStamp = stamp;
+    ++numPrefFills;
+    return true;
 }
 
 bool
@@ -100,11 +169,27 @@ Cache::clear()
         line = Line();
 }
 
+void
+validateTlbParams(const TlbParams &params)
+{
+    if (params.assoc == 0)
+        badParam("TLB", "associativity must be nonzero");
+    if (params.entries == 0 || params.entries % params.assoc != 0)
+        badParam("TLB", "entry count must be a nonzero multiple of "
+                 "the associativity (got " +
+                 std::to_string(params.entries) + " entries, assoc " +
+                 std::to_string(params.assoc) + ")");
+    if (params.pageBits == 0 || params.pageBits >= 64)
+        badParam("TLB", "page bits must be in [1, 63]");
+    if (params.missLatency == 0)
+        badParam("TLB", "miss latency must be nonzero");
+}
+
 Tlb::Tlb(const TlbParams &params_)
     : params(params_)
 {
+    validateTlbParams(params);
     numSets = params.entries / params.assoc;
-    nosq_assert(numSets > 0, "TLB needs at least one set");
     entries.assign(params.entries, Entry());
 }
 
@@ -143,44 +228,6 @@ Tlb::clear()
 {
     for (auto &e : entries)
         e = Entry();
-}
-
-MemHierarchy::MemHierarchy(const MemSysParams &params_)
-    : params(params_), l1iCache(params_.l1i), l1dCache(params_.l1d),
-      l2Cache(params_.l2), instTlb(params_.itlb), dataTlb(params_.dtlb)
-{
-}
-
-Cycle
-MemHierarchy::fill(Addr addr, bool write, Cache &l1)
-{
-    Cycle latency = l1.hitLatency();
-    if (!l1.access(addr, write)) {
-        latency += l2Cache.hitLatency();
-        if (!l2Cache.access(addr, write))
-            latency += params.memoryLatency + params.busTransfer;
-    }
-    return latency;
-}
-
-Cycle
-MemHierarchy::dataRead(Addr addr)
-{
-    ++numDataReads;
-    return dataTlb.access(addr) + fill(addr, false, l1dCache);
-}
-
-Cycle
-MemHierarchy::dataWrite(Addr addr)
-{
-    ++numDataWrites;
-    return dataTlb.access(addr) + fill(addr, true, l1dCache);
-}
-
-Cycle
-MemHierarchy::instFetch(Addr addr)
-{
-    return instTlb.access(addr) + fill(addr, false, l1iCache);
 }
 
 } // namespace nosq

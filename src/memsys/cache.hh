@@ -1,10 +1,15 @@
 /**
  * @file
- * Set-associative cache tag model with LRU replacement.
+ * Set-associative cache tag model with LRU replacement, plus the TLB.
  *
  * Models hit/miss behaviour and replacement state only; data travels
  * through the simulator's committed memory image. Geometry follows
  * Section 4.1: 64KB 2-way L1s, 1MB 8-way L2, 64-byte lines.
+ *
+ * This file holds the tag/replacement layer only. Miss-status
+ * holding registers live in memsys/mshr.hh, the bandwidth model in
+ * memsys/bus.hh, the prefetcher in memsys/prefetch.hh, and the
+ * MemHierarchy composing them all in memsys/hierarchy.hh.
  */
 
 #ifndef NOSQ_MEMSYS_CACHE_HH
@@ -29,10 +34,21 @@ struct CacheParams
     Cycle hitLatency = 3;
 };
 
+/**
+ * Reject impossible or silently-degenerate geometry with a clear
+ * message: line size must be a nonzero power of two, associativity
+ * nonzero and at most the line count, the set count a nonzero power
+ * of two, and the hit latency nonzero.
+ *
+ * @throws std::invalid_argument naming the offending field
+ */
+void validateCacheParams(const CacheParams &params);
+
 /** One cache level: tags + LRU state + statistics. */
 class Cache
 {
   public:
+    /** @throws std::invalid_argument on invalid geometry */
     explicit Cache(const CacheParams &params);
 
     /**
@@ -44,6 +60,17 @@ class Cache
      */
     bool access(Addr addr, bool write);
 
+    /**
+     * Install the line containing @p addr on behalf of the
+     * prefetcher: no hit/miss accounting (the line was never
+     * demanded), but a dirty victim still counts as a writeback and
+     * the line is marked so a later demand hit counts as a useful
+     * prefetch.
+     *
+     * @return true if the line was absent and has been filled
+     */
+    bool fillPrefetch(Addr addr);
+
     /** Hit check without changing replacement state (for tests). */
     bool probe(Addr addr) const;
 
@@ -52,11 +79,16 @@ class Cache
     void clear();
 
     Cycle hitLatency() const { return params.hitLatency; }
+    unsigned lineBytes() const { return params.lineBytes; }
     const CacheParams &config() const { return params; }
 
     std::uint64_t hits() const { return numHits; }
     std::uint64_t misses() const { return numMisses; }
     std::uint64_t writebacks() const { return numWritebacks; }
+    /** Lines installed by fillPrefetch(). */
+    std::uint64_t prefetchFills() const { return numPrefFills; }
+    /** Demand hits on prefetched, not-yet-touched lines. */
+    std::uint64_t prefetchUseful() const { return numPrefUseful; }
 
   private:
     struct Line
@@ -64,11 +96,14 @@ class Cache
         Addr tag = 0;
         bool valid = false;
         bool dirty = false;
+        bool prefetched = false;
         std::uint64_t lruStamp = 0;
     };
 
     std::size_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
+    /** LRU (or first invalid) way of the set at @p base. */
+    unsigned victimWay(std::size_t base) const;
 
     CacheParams params;
     std::size_t numSets;
@@ -77,6 +112,8 @@ class Cache
     std::uint64_t numHits = 0;
     std::uint64_t numMisses = 0;
     std::uint64_t numWritebacks = 0;
+    std::uint64_t numPrefFills = 0;
+    std::uint64_t numPrefUseful = 0;
 };
 
 /** TLB geometry (Section 4.1: 128-entry, 4-way). */
@@ -88,10 +125,19 @@ struct TlbParams
     Cycle missLatency = 30;
 };
 
+/**
+ * Reject degenerate TLB geometry: entry count nonzero and a multiple
+ * of a nonzero associativity, page bits sane, miss latency nonzero.
+ *
+ * @throws std::invalid_argument naming the offending field
+ */
+void validateTlbParams(const TlbParams &params);
+
 /** A TLB modeled as a tiny set-associative cache of page numbers. */
 class Tlb
 {
   public:
+    /** @throws std::invalid_argument on invalid geometry */
     explicit Tlb(const TlbParams &params);
 
     /** @return extra latency (0 on hit, missLatency on miss). */
@@ -116,60 +162,6 @@ class Tlb
     std::uint64_t stamp = 0;
     std::uint64_t numHits = 0;
     std::uint64_t numMisses = 0;
-};
-
-/** Two-level hierarchy timing parameters (Section 4.1). */
-struct MemSysParams
-{
-    CacheParams l1i{"l1i", 64 * 1024, 2, 64, 1};
-    CacheParams l1d{"l1d", 64 * 1024, 2, 64, 3};
-    CacheParams l2{"l2", 1024 * 1024, 8, 64, 10};
-    TlbParams itlb;
-    TlbParams dtlb;
-    /** DRAM access latency in cycles. */
-    Cycle memoryLatency = 150;
-    /** Line transfer: 64B line / 16B bus at quarter frequency. */
-    Cycle busTransfer = 16;
-};
-
-/**
- * The L1D/L2/memory path used by the core for loads, stores, and
- * instruction fetch. Returns end-to-end latencies and keeps counts;
- * port/bandwidth contention is enforced by the core's issue rules.
- */
-class MemHierarchy
-{
-  public:
-    explicit MemHierarchy(const MemSysParams &params);
-
-    /** Data read: @return total latency in cycles. */
-    Cycle dataRead(Addr addr);
-
-    /** Data write (store commit): @return total latency. */
-    Cycle dataWrite(Addr addr);
-
-    /** Instruction fetch: @return total latency. */
-    Cycle instFetch(Addr addr);
-
-    Cache &l1d() { return l1dCache; }
-    Cache &l1i() { return l1iCache; }
-    Cache &l2() { return l2Cache; }
-    Tlb &dtlb() { return dataTlb; }
-
-    std::uint64_t dataReads() const { return numDataReads; }
-    std::uint64_t dataWrites() const { return numDataWrites; }
-
-  private:
-    Cycle fill(Addr addr, bool write, Cache &l1);
-
-    MemSysParams params;
-    Cache l1iCache;
-    Cache l1dCache;
-    Cache l2Cache;
-    Tlb instTlb;
-    Tlb dataTlb;
-    std::uint64_t numDataReads = 0;
-    std::uint64_t numDataWrites = 0;
 };
 
 } // namespace nosq

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The composed timing memory system.
+ *
+ * MemHierarchy wires the per-level tag models (memsys/cache.hh), the
+ * non-blocking-L1D MSHR file (memsys/mshr.hh), the DRAM bandwidth
+ * model (memsys/bus.hh), and the stream prefetcher
+ * (memsys/prefetch.hh) into the L1D/L2/memory path the core drives
+ * for loads, stores, and instruction fetch. Every access returns an
+ * end-to-end latency the core consumes exactly as before.
+ *
+ * All of the new machinery is opt-in via MemSysParams: with
+ * `mshrs == 0`, `prefetchDegree == 0`, and `busContention == false`
+ * (the defaults) the hierarchy computes bit-identical latencies to
+ * the pre-split blocking model, which is what keeps the PR 4
+ * golden-stats gate byte-identical.
+ */
+
+#ifndef NOSQ_MEMSYS_HIERARCHY_HH
+#define NOSQ_MEMSYS_HIERARCHY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "memsys/bus.hh"
+#include "memsys/cache.hh"
+#include "memsys/mshr.hh"
+#include "memsys/prefetch.hh"
+
+namespace nosq {
+
+/** Two-level hierarchy timing parameters (Section 4.1). */
+struct MemSysParams
+{
+    CacheParams l1i{"l1i", 64 * 1024, 2, 64, 1};
+    CacheParams l1d{"l1d", 64 * 1024, 2, 64, 3};
+    CacheParams l2{"l2", 1024 * 1024, 8, 64, 10};
+    TlbParams itlb;
+    TlbParams dtlb;
+    /** DRAM access latency in cycles. */
+    Cycle memoryLatency = 150;
+    /** Line transfer: 64B line / 16B bus at quarter frequency. */
+    Cycle busTransfer = 16;
+
+    // --- opt-in timing machinery (defaults preserve the legacy
+    // --- blocking model bit for bit) --------------------------------
+    /** L1D miss-status holding registers; 0 disables the
+     * non-blocking model (legacy flat-latency misses). */
+    unsigned mshrs = 0;
+    /** Secondary misses mergeable into one in-flight fill. */
+    unsigned mshrTargets = 4;
+    /** Model DRAM-bus occupancy (queueing) instead of the flat
+     * busTransfer constant. */
+    bool busContention = false;
+    /** Stream-prefetcher lines per trigger; 0 disables it. */
+    unsigned prefetchDegree = 0;
+    /** Stream table entries. */
+    unsigned prefetchStreams = 8;
+};
+
+/**
+ * Validate the whole parameter block: every cache and TLB geometry,
+ * nonzero memory/bus latencies, and consistent MSHR/prefetcher
+ * knobs.
+ *
+ * @throws std::invalid_argument naming the offending field
+ */
+void validateMemSysParams(const MemSysParams &params);
+
+/**
+ * Aggregate hierarchy counters, snapshot-subtractable so the core
+ * can reset measurement at the warmup boundary the way it resets
+ * SimResult.
+ */
+struct MemSysStats
+{
+    std::uint64_t l1iHits = 0, l1iMisses = 0;
+    std::uint64_t l1dHits = 0, l1dMisses = 0, l1dWritebacks = 0;
+    std::uint64_t l2Hits = 0, l2Misses = 0, l2Writebacks = 0;
+    std::uint64_t itlbHits = 0, itlbMisses = 0;
+    std::uint64_t dtlbHits = 0, dtlbMisses = 0;
+    std::uint64_t mshrMerges = 0, mshrStalls = 0;
+    std::uint64_t prefIssued = 0, prefUseful = 0;
+    /** Total end-to-end latency of L1D demand misses (for the
+     * average-miss-latency statistic). */
+    std::uint64_t missCycles = 0;
+
+    MemSysStats operator-(const MemSysStats &base) const;
+};
+
+/**
+ * Zip the hierarchy counters of two stats-like objects, in a fixed
+ * order: fn(dst.<counter>, src.<counter>) for every counter. The
+ * single source of truth for the counter field set -- the snapshot
+ * subtraction and the core's SimResult export (whose fields share
+ * these names) both iterate it, so adding a hierarchy counter means
+ * extending only this list (plus MemHierarchy::stats(), which
+ * assembles it from the component models).
+ */
+template <typename DstT, typename SrcT, typename Fn>
+void
+forEachMemSysCounterPair(DstT &dst, SrcT &src, Fn &&fn)
+{
+    fn(dst.l1iHits, src.l1iHits);
+    fn(dst.l1iMisses, src.l1iMisses);
+    fn(dst.l1dHits, src.l1dHits);
+    fn(dst.l1dMisses, src.l1dMisses);
+    fn(dst.l1dWritebacks, src.l1dWritebacks);
+    fn(dst.l2Hits, src.l2Hits);
+    fn(dst.l2Misses, src.l2Misses);
+    fn(dst.l2Writebacks, src.l2Writebacks);
+    fn(dst.itlbHits, src.itlbHits);
+    fn(dst.itlbMisses, src.itlbMisses);
+    fn(dst.dtlbHits, src.dtlbHits);
+    fn(dst.dtlbMisses, src.dtlbMisses);
+    fn(dst.mshrMerges, src.mshrMerges);
+    fn(dst.mshrStalls, src.mshrStalls);
+    fn(dst.prefIssued, src.prefIssued);
+    fn(dst.prefUseful, src.prefUseful);
+    fn(dst.missCycles, src.missCycles);
+}
+
+/**
+ * The L1D/L2/memory path used by the core for loads, stores, and
+ * instruction fetch. Returns end-to-end latencies and keeps counts;
+ * port contention is enforced by the core's issue rules, while MSHR
+ * occupancy and DRAM-bus bandwidth (when enabled) are enforced here.
+ */
+class MemHierarchy
+{
+  public:
+    /** @throws std::invalid_argument on invalid parameters */
+    explicit MemHierarchy(const MemSysParams &params);
+
+    /**
+     * Data read at cycle @p now: @return total latency in cycles.
+     * Reads allocate MSHRs (when enabled) and trigger the
+     * prefetcher on misses.
+     */
+    Cycle dataRead(Addr addr, Cycle now);
+
+    /**
+     * Data write (store commit) at cycle @p now: @return total
+     * latency. Writes are drained through a write buffer in this
+     * model: they consume DRAM-bus bandwidth on misses but never
+     * occupy MSHRs.
+     */
+    Cycle dataWrite(Addr addr, Cycle now);
+
+    /** Instruction fetch at cycle @p now: @return total latency. */
+    Cycle instFetch(Addr addr, Cycle now);
+
+    /** Full counter snapshot (monotonic; subtract two snapshots to
+     * window a measurement). */
+    MemSysStats stats() const;
+
+    Cache &l1d() { return l1dCache; }
+    Cache &l1i() { return l1iCache; }
+    Cache &l2() { return l2Cache; }
+    Tlb &dtlb() { return dataTlb; }
+    Bus &bus() { return memBus; }
+
+    std::uint64_t dataReads() const { return numDataReads; }
+    std::uint64_t dataWrites() const { return numDataWrites; }
+
+  private:
+    /** L2-and-below fill latency for a request leaving L1 at
+     * @p now. */
+    Cycle fillFromL2(Addr addr, bool write, Cycle now);
+    /**
+     * Complete a secondary access against in-flight fill @p m:
+     * merge when a target is free (the access finishes with the
+     * fill), otherwise stall past it and retry the cache once the
+     * data has landed. @return the absolute completion cycle, at
+     * least @p earliest.
+     */
+    Cycle mergeCompletion(Mshr &m, Cycle earliest);
+    /** Stream-event hook (demand miss or prefetched-line hit):
+     * stride detection + prefetch fills. */
+    void streamEvent(Addr line);
+
+    MemSysParams params;
+    Cache l1iCache;
+    Cache l1dCache;
+    Cache l2Cache;
+    Tlb instTlb;
+    Tlb dataTlb;
+    MshrFile mshrFile;
+    Bus memBus;
+    StreamPrefetcher prefetcher;
+    std::vector<Addr> prefQueue; // scratch, avoids per-miss allocs
+    std::uint64_t numDataReads = 0;
+    std::uint64_t numDataWrites = 0;
+    std::uint64_t numMshrMerges = 0;
+    std::uint64_t numMshrStalls = 0;
+    std::uint64_t numMissCycles = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_MEMSYS_HIERARCHY_HH

@@ -1,0 +1,92 @@
+#include "memsys/mshr.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace nosq {
+
+MshrFile::MshrFile(unsigned num_entries, unsigned max_targets)
+    : entries(num_entries), maxTargets(max_targets)
+{
+    if (num_entries > 0 && max_targets == 0)
+        throw std::invalid_argument(
+            "MSHR: target count per entry must be nonzero");
+}
+
+Mshr *
+MshrFile::find(Addr line, Cycle now)
+{
+    for (Mshr &entry : entries)
+        if (entry.readyAt > now && entry.line == line)
+            return &entry;
+    for (Mshr &entry : retiring)
+        if (entry.readyAt > now && entry.line == line)
+            return &entry;
+    return nullptr;
+}
+
+unsigned
+MshrFile::inFlight(Cycle now) const
+{
+    unsigned busy = 0;
+    for (const Mshr &entry : entries)
+        busy += entry.readyAt > now;
+    return busy;
+}
+
+Cycle
+MshrFile::stallUntilFree(Cycle now) const
+{
+    nosq_assert(!entries.empty(), "stallUntilFree on disabled MSHRs");
+    Cycle earliest = ~Cycle(0);
+    for (const Mshr &entry : entries) {
+        if (entry.readyAt <= now)
+            return 0;
+        if (entry.readyAt < earliest)
+            earliest = entry.readyAt;
+    }
+    return earliest - now;
+}
+
+void
+MshrFile::allocate(Addr line, Cycle now, Cycle ready_at)
+{
+    nosq_assert(!entries.empty(), "allocate on disabled MSHRs");
+    // Recycle the entry with the earliest completion: after the
+    // caller's stallUntilFree() wait it is the one that is (or first
+    // becomes) free.
+    Mshr *victim = &entries.front();
+    for (Mshr &entry : entries)
+        if (entry.readyAt < victim->readyAt)
+            victim = &entry;
+    if (victim->readyAt > now) {
+        // Full-file replacement: the displaced fill is still in
+        // flight; park it so its merge window survives to its own
+        // completion. Expired windows are pruned first, so the list
+        // stays bounded by the fills simultaneously in flight (this
+        // is model bookkeeping for latency exactness -- the
+        // structural capacity is the entries array alone).
+        retiring.erase(
+            std::remove_if(retiring.begin(), retiring.end(),
+                           [now](const Mshr &r) {
+                               return r.readyAt <= now;
+                           }),
+            retiring.end());
+        retiring.push_back(*victim);
+    }
+    victim->line = line;
+    victim->readyAt = ready_at;
+    victim->targets = 0;
+}
+
+void
+MshrFile::clear()
+{
+    for (Mshr &entry : entries)
+        entry = Mshr();
+    retiring.clear();
+}
+
+} // namespace nosq

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Miss-status holding registers: the non-blocking-L1D machinery.
+ *
+ * Each entry tracks one in-flight line fill (line address + the
+ * cycle its data returns). A finite file gives the three behaviours
+ * the blocking model cannot express: hit-under-miss (hits proceed
+ * while fills are outstanding), secondary-miss merging (a second
+ * miss to an in-flight line completes with the existing fill instead
+ * of paying a fresh memory round trip), and structural back-pressure
+ * (when every entry is busy, a new miss waits for the earliest
+ * completion).
+ */
+
+#ifndef NOSQ_MEMSYS_MSHR_HH
+#define NOSQ_MEMSYS_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nosq {
+
+/** One in-flight line fill. */
+struct Mshr
+{
+    Addr line = 0;
+    /** Cycle the fill data returns; the entry is free afterwards. */
+    Cycle readyAt = 0;
+    /** Secondary misses already merged into this fill. */
+    unsigned targets = 0;
+};
+
+/**
+ * The MSHR file. Constructed with 0 entries it is disabled and the
+ * hierarchy falls back to the legacy flat-latency miss model.
+ */
+class MshrFile
+{
+  public:
+    /** @throws std::invalid_argument if max_targets is zero while
+     * entries is nonzero */
+    MshrFile(unsigned num_entries, unsigned max_targets);
+
+    bool enabled() const { return !entries.empty(); }
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(entries.size());
+    }
+    unsigned targetCapacity() const { return maxTargets; }
+
+    /**
+     * The in-flight entry covering @p line at @p now, or nullptr.
+     * An entry whose fill already returned (readyAt <= now) is free
+     * and never matches. Entries displaced by a full-file
+     * replacement keep matching from the retiring buffer until
+     * their own fill returns.
+     */
+    Mshr *find(Addr line, Cycle now);
+
+    /** Entries still in flight at @p now (retiring ones excluded:
+     * they no longer hold capacity). */
+    unsigned inFlight(Cycle now) const;
+
+    /**
+     * Cycles until at least one entry is free: 0 when one already
+     * is, otherwise the wait for the earliest completion.
+     */
+    Cycle stallUntilFree(Cycle now) const;
+
+    /**
+     * Claim an entry for @p line completing at @p ready_at; the
+     * entry with the earliest completion is recycled. When that
+     * victim is still in flight at @p now (the file was full and
+     * the caller waited out stallUntilFree(), charging the stall in
+     * its own latency), the victim's remaining merge window is
+     * preserved in the retiring buffer: accesses to the displaced
+     * line keep completing with its fill instead of pretending the
+     * data already arrived.
+     */
+    void allocate(Addr line, Cycle now, Cycle ready_at);
+
+    void clear();
+
+  private:
+    std::vector<Mshr> entries;
+    /** Displaced-but-in-flight fills; pruned of expired windows on
+     * every park, so it never outgrows the fills concurrently in
+     * flight. */
+    std::vector<Mshr> retiring;
+    unsigned maxTargets = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_MEMSYS_MSHR_HH

@@ -1,0 +1,80 @@
+#include "memsys/prefetch.hh"
+
+#include <stdexcept>
+
+namespace nosq {
+
+StreamPrefetcher::StreamPrefetcher(unsigned degree,
+                                   unsigned num_streams)
+    : prefDegree(degree), streams(degree > 0 ? num_streams : 0)
+{
+    if (degree > 0 && num_streams == 0)
+        throw std::invalid_argument(
+            "prefetcher: stream count must be nonzero when the "
+            "degree is");
+}
+
+void
+StreamPrefetcher::observe(Addr line, std::vector<Addr> &out)
+{
+    if (!enabled())
+        return;
+    ++stamp;
+
+    Stream *home = nullptr;
+    Stream *victim = &streams.front();
+    for (Stream &s : streams) {
+        if (s.valid && s.region == regionOf(line)) {
+            home = &s;
+            break;
+        }
+        if (!victim->valid)
+            continue; // an invalid victim is already ideal
+        if (!s.valid || s.lru < victim->lru)
+            victim = &s;
+    }
+
+    auto emit = [&](std::int64_t stride) {
+        for (unsigned k = 1; k <= prefDegree; ++k) {
+            const std::int64_t target =
+                static_cast<std::int64_t>(line) +
+                stride * static_cast<std::int64_t>(k);
+            // A descending stream near line 0 must not wrap to the
+            // top of the address space (a garbage fill that could
+            // never be demand-hit).
+            if (target < 0)
+                break;
+            out.push_back(static_cast<Addr>(target));
+        }
+    };
+
+    if (home == nullptr) {
+        // Stream start: assume a forward unit stride and prefetch
+        // the next-N lines immediately (the "next-N-line" half).
+        *victim = {regionOf(line), line, +1, true, stamp};
+        emit(+1);
+        return;
+    }
+
+    home->lru = stamp;
+    const std::int64_t delta =
+        static_cast<std::int64_t>(line) -
+        static_cast<std::int64_t>(home->lastLine);
+    home->lastLine = line;
+    if (delta == 0)
+        return;
+    if (delta == home->stride)
+        emit(home->stride); // confirmed: run ahead of the stream
+    else
+        home->stride = delta; // new candidate, confirm next event
+}
+
+void
+StreamPrefetcher::clear()
+{
+    for (Stream &s : streams)
+        s = Stream();
+    stamp = 0;
+}
+
+} // namespace nosq

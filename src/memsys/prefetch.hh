@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Stream prefetcher: next-N-line with stride detection.
+ *
+ * A small table of streams keyed by 64-line region. The first miss
+ * in a region starts a stream with an assumed forward unit stride
+ * and prefetches the next N lines; a stream whose observed delta
+ * repeats locks onto that stride and keeps running N lines ahead.
+ * Streams advance on every observed event -- demand misses AND
+ * demand hits to prefetched lines -- which is what lets a
+ * sequential walk stay behind the prefetcher instead of thrashing
+ * the stride detector with miss-only samples. Everything works in
+ * line-address space; the hierarchy turns emitted line addresses
+ * into fills.
+ *
+ * Degree 0 disables the prefetcher entirely (the default: the
+ * golden-stats gate runs with it off).
+ */
+
+#ifndef NOSQ_MEMSYS_PREFETCH_HH
+#define NOSQ_MEMSYS_PREFETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nosq {
+
+class StreamPrefetcher
+{
+  public:
+    /**
+     * @param degree lines prefetched per trigger (0: disabled)
+     * @param num_streams stream table entries
+     * @throws std::invalid_argument if degree is nonzero while
+     *         num_streams is zero
+     */
+    StreamPrefetcher(unsigned degree, unsigned num_streams);
+
+    bool enabled() const { return prefDegree > 0; }
+    unsigned degree() const { return prefDegree; }
+
+    /**
+     * Observe a stream event on line address @p line -- a demand
+     * miss, or a demand hit on a line this prefetcher filled -- and
+     * append the line addresses to prefetch to @p out (up to
+     * degree() of them; nothing while a stream's stride is still
+     * unconfirmed).
+     */
+    void observe(Addr line, std::vector<Addr> &out);
+
+    void clear();
+
+  private:
+    struct Stream
+    {
+        Addr region = 0;
+        Addr lastLine = 0;
+        std::int64_t stride = 0;
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    /** 64-line (4KB at 64B lines) stream home region. */
+    static Addr regionOf(Addr line) { return line >> 6; }
+
+    unsigned prefDegree;
+    std::vector<Stream> streams;
+    std::uint64_t stamp = 0;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_MEMSYS_PREFETCH_HH

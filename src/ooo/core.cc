@@ -64,6 +64,19 @@ livelockBound(std::uint64_t total)
     return total * 1000 + slack;
 }
 
+/**
+ * Copy a (warmup-windowed) hierarchy snapshot into the run's
+ * statistics block (SimResult shares the counter field names).
+ */
+void
+exportMemStats(const MemSysStats &m, SimResult &res)
+{
+    forEachMemSysCounterPair(
+        res, m, [](std::uint64_t &dst, const std::uint64_t &src) {
+            dst = src;
+        });
+}
+
 } // anonymous namespace
 
 OooCore::OooCore(const UarchParams &params_,
@@ -112,6 +125,11 @@ OooCore::run(std::uint64_t max_insts, std::uint64_t warmup_insts)
         cycle_base = cycle;
     }
 
+    // Hierarchy counters live in the memory system (they warm up
+    // alongside it); window them to the measured region the same
+    // way the cycle count is.
+    const MemSysStats mem_base = mem.stats();
+
     commitBudget = total;
     while (committed < total) {
         tick();
@@ -122,6 +140,7 @@ OooCore::run(std::uint64_t max_insts, std::uint64_t warmup_insts)
     }
     res.cycles = cycle - cycle_base;
     res.insts = committed - warmup_insts;
+    exportMemStats(mem.stats() - mem_base, res);
     return res;
 }
 
@@ -166,7 +185,7 @@ OooCore::doFetch()
         // Instruction cache: one access per group; a miss stalls the
         // whole group until the fill returns.
         if (fetched == 0) {
-            const Cycle lat = mem.instFetch(di.pc);
+            const Cycle lat = mem.instFetch(di.pc, cycle);
             if (lat > params.memsys.l1i.hitLatency) {
                 fetchStalledUntil = cycle + lat;
                 return;

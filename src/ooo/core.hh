@@ -29,7 +29,7 @@
 #include "frontend/branch_predictor.hh"
 #include "lsu/store_queue.hh"
 #include "lsu/store_sets.hh"
-#include "memsys/cache.hh"
+#include "memsys/hierarchy.hh"
 #include "nosq/bypass_predictor.hh"
 #include "nosq/partial.hh"
 #include "nosq/path_history.hh"

@@ -97,7 +97,7 @@ OooCore::doBackendEntry()
                 inf.reexec = true;
                 ++res.reexecLoads;
                 ++res.dcacheReadsBackend;
-                mem.dataRead(di.addr);
+                mem.dataRead(di.addr, cycle);
             }
 
             // Snapshot bypass-predictor training facts while the
@@ -212,7 +212,7 @@ OooCore::doRetire()
             if (spct.empty())
                 spct.assign(spct_size, 0);
             spct[di.ssn % spct_size] = di.pc;
-            mem.dataWrite(di.addr);
+            mem.dataWrite(di.addr, cycle);
             ++res.dcacheWrites;
             ++res.stores;
         } else if (di.isLoad()) {

@@ -68,7 +68,7 @@ OooCore::executeLoad(Inflight &inf)
 
     // Every load dispatched to the out-of-order engine reads the
     // data cache (in the baseline, in parallel with the SQ search).
-    const Cycle cache_lat = mem.dataRead(di.addr);
+    const Cycle cache_lat = mem.dataRead(di.addr, cycle);
     ++res.dcacheReadsCore;
 
     Cycle lat = cache_lat;

@@ -50,10 +50,59 @@ struct SimResult
     // --- rare events --------------------------------------------------------
     std::uint64_t ssnWrapDrains = 0;
 
+    // --- memory hierarchy (per-level, memsys/hierarchy.hh) ----------------
+    std::uint64_t l1iHits = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l1dHits = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l1dWritebacks = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t l2Writebacks = 0;
+    std::uint64_t itlbHits = 0;
+    std::uint64_t itlbMisses = 0;
+    std::uint64_t dtlbHits = 0;
+    std::uint64_t dtlbMisses = 0;
+    std::uint64_t mshrMerges = 0;    // secondary misses merged
+    std::uint64_t mshrStalls = 0;    // file/target-full waits
+    std::uint64_t prefIssued = 0;    // prefetch line fills
+    std::uint64_t prefUseful = 0;    // demand hits on prefetched lines
+    std::uint64_t missCycles = 0;    // total L1D demand-miss latency
+
     double
     ipc() const
     {
         return cycles ? static_cast<double>(insts) / cycles : 0.0;
+    }
+
+    double
+    l1dMpki() const
+    {
+        return insts
+            ? 1000.0 * static_cast<double>(l1dMisses) / insts : 0.0;
+    }
+
+    double
+    l2Mpki() const
+    {
+        return insts
+            ? 1000.0 * static_cast<double>(l2Misses) / insts : 0.0;
+    }
+
+    /** Mean end-to-end latency of L1D demand misses, in cycles. */
+    double
+    avgMissLatency() const
+    {
+        return l1dMisses
+            ? static_cast<double>(missCycles) / l1dMisses : 0.0;
+    }
+
+    /** Fraction of prefetched lines that saw a demand hit. */
+    double
+    prefetchAccuracy() const
+    {
+        return prefIssued
+            ? static_cast<double>(prefUseful) / prefIssued : 0.0;
     }
 
     double

@@ -8,7 +8,7 @@
 
 #include "frontend/branch_predictor.hh"
 #include "lsu/store_sets.hh"
-#include "memsys/cache.hh"
+#include "memsys/hierarchy.hh"
 #include "nosq/bypass_predictor.hh"
 #include "nosq/ssn.hh"
 #include "nosq/tssbf.hh"

@@ -24,6 +24,12 @@ struct RunResult
     std::string benchmark;
     Suite suite = Suite::Media;
     std::string config;
+    /**
+     * Memory-hierarchy point label for `--sweep=memsys` rows (e.g.
+     * "l2-1M-lat10-mshr8-pref"); empty — and omitted from the JSON
+     * report — for every other sweep.
+     */
+    std::string memsys;
     SimResult sim;
     /**
      * False when the run did not complete (its sweep job threw) and

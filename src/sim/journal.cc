@@ -97,6 +97,11 @@ hashParams(Fnv &fnv, const UarchParams &p)
     }
     fnv.field("mem.lat", p.memsys.memoryLatency);
     fnv.field("mem.bus", p.memsys.busTransfer);
+    fnv.field("mem.mshrs", p.memsys.mshrs);
+    fnv.field("mem.mshrT", p.memsys.mshrTargets);
+    fnv.field("mem.busOcc", p.memsys.busContention);
+    fnv.field("mem.prefD", p.memsys.prefetchDegree);
+    fnv.field("mem.prefS", p.memsys.prefetchStreams);
     fnv.field("ssnWrap", p.ssnWrapPeriod);
 }
 
@@ -177,6 +182,15 @@ runFromJson(const JsonValue &v, RunResult &out)
     if (!suiteFromName(suite->string, out.suite))
         return false;
     out.config = config->string;
+    // Optional hierarchy label (memsys sweeps): must round-trip, or
+    // a resumed report would drop the field and no longer be
+    // byte-identical to an uninterrupted run's.
+    const JsonValue *memsys = v.find("memsys");
+    if (memsys != nullptr) {
+        if (memsys->kind != JsonValue::Kind::String)
+            return false;
+        out.memsys = memsys->string;
+    }
     out.valid = valid->boolean;
 
     // The same counter table the emitter and validator iterate, so
@@ -258,6 +272,7 @@ jobFingerprint(const SweepJob &job)
     // over identical tuples must not share a journal).
     fnv.field("runner", job.runner ? 1 : 0);
     fnv.text(job.runnerTag);
+    fnv.text(job.memsysLabel);
     hashParams(fnv, job.params);
     return fnv.hex();
 }
@@ -537,7 +552,8 @@ SweepJournal::bind(const std::vector<SweepJob> &jobs)
                 job.profile ? job.profile->suite : job.suite;
             if (run.benchmark != job_bench ||
                 run.config != job.config ||
-                run.suite != job_suite) {
+                run.suite != job_suite ||
+                run.memsys != job.memsysLabel) {
                 warns.push_back(where + " labels disagree with its "
                                 "fingerprint's job; skipping it");
                 continue;

@@ -239,7 +239,14 @@ toJson(const SimResult &r, int indent)
         out += inner + '"' + key +
             "\": " + std::to_string(value) + ",\n";
     });
-    out += inner + "\"ipc\": " + jsonNumber(r.ipc()) + "\n";
+    out += inner + "\"ipc\": " + jsonNumber(r.ipc()) + ",\n";
+    out += inner + "\"l1d_mpki\": " + jsonNumber(r.l1dMpki()) +
+        ",\n";
+    out += inner + "\"l2_mpki\": " + jsonNumber(r.l2Mpki()) + ",\n";
+    out += inner + "\"avg_miss_latency\": " +
+        jsonNumber(r.avgMissLatency()) + ",\n";
+    out += inner + "\"pref_accuracy\": " +
+        jsonNumber(r.prefetchAccuracy()) + "\n";
     out += pad(indent) + "}";
     return out;
 }
@@ -257,6 +264,10 @@ toJson(const RunResult &r, int indent)
     out += inner + "\"suite\": \"" + jsonEscape(suiteName(r.suite)) +
         "\",\n";
     out += inner + "\"config\": \"" + jsonEscape(r.config) + "\",\n";
+    if (!r.memsys.empty()) {
+        out += inner + "\"memsys\": \"" + jsonEscape(r.memsys) +
+            "\",\n";
+    }
     out += inner + "\"valid\": " + (valid ? "true" : "false") +
         ",\n";
     out += inner + "\"stats\": " + toJson(r.sim, indent + 2) + "\n";
@@ -607,19 +618,52 @@ parseJson(const std::string &text, JsonValue &out, std::string *error)
 
 namespace {
 
-/** Every key toJson(SimResult) emits, derived from the shared
- * counter table plus the derived "ipc". */
+/**
+ * The stats keys every nosq-sweep-v2 report has carried since the
+ * schema was introduced. These are REQUIRED: a report missing one
+ * is rejected.
+ */
 const std::vector<const char *> &
-statKeys()
+requiredStatKeys()
+{
+    static const std::vector<const char *> keys = {
+        "cycles", "insts", "loads", "stores", "branches",
+        "comm_loads", "partial_comm_loads", "bypassed_loads",
+        "shift_uops", "delayed_loads", "bypass_mispredicts",
+        "reexec_loads", "load_flushes", "dcache_reads_core",
+        "dcache_reads_backend", "dcache_writes",
+        "branch_mispredicts", "sq_forwards", "sq_stalls",
+        "ssn_wrap_drains", "ipc",
+    };
+    return keys;
+}
+
+/**
+ * Keys added to v2 later (the PR 5 memory-hierarchy counters and
+ * their derived statistics). Additive, hence OPTIONAL: reports
+ * emitted before they existed still validate (the schema string is
+ * only bumped on breaking changes), but when present they must be
+ * well-typed. Derived from the shared counter table so a new
+ * SimResult counter can never be forgotten here.
+ */
+const std::vector<const char *> &
+optionalStatKeys()
 {
     static const std::vector<const char *> keys = [] {
         std::vector<const char *> k;
         SimResult dummy;
         forEachSimCounter(dummy, [&](const char *key,
                                      std::uint64_t &) {
-            k.push_back(key);
+            bool required = false;
+            for (const char *req : requiredStatKeys())
+                required |= std::string(req) == key;
+            if (!required)
+                k.push_back(key);
         });
-        k.push_back("ipc");
+        k.push_back("l1d_mpki");
+        k.push_back("l2_mpki");
+        k.push_back("avg_miss_latency");
+        k.push_back("pref_accuracy");
         return k;
     }();
     return keys;
@@ -669,6 +713,12 @@ validRun(const JsonValue &run, std::size_t index, std::string *error)
         suite != suiteName(Suite::Fp))
         return schemaFail(error, where + ".suite unknown: '" +
                           suite + "'");
+    // The hierarchy label is optional (memsys sweeps only), but when
+    // present it must be a string.
+    const JsonValue *memsys = run.find("memsys");
+    if (memsys != nullptr &&
+        memsys->kind != JsonValue::Kind::String)
+        return schemaFail(error, where + ".memsys is not a string");
     const JsonValue *valid = run.find("valid");
     if (valid == nullptr || valid->kind != JsonValue::Kind::Bool)
         return schemaFail(error, where +
@@ -677,11 +727,17 @@ validRun(const JsonValue &run, std::size_t index, std::string *error)
     if (stats == nullptr || stats->kind != JsonValue::Kind::Object)
         return schemaFail(error, where +
                           ".stats missing or not an object");
-    for (const char *key : statKeys()) {
+    for (const char *key : requiredStatKeys()) {
         const JsonValue *v = stats->find(key);
         if (v == nullptr || !isNumberOrNull(*v))
             return schemaFail(error, where + ".stats." + key +
                               " missing or not a number/null");
+    }
+    for (const char *key : optionalStatKeys()) {
+        const JsonValue *v = stats->find(key);
+        if (v != nullptr && !isNumberOrNull(*v))
+            return schemaFail(error, where + ".stats." + key +
+                              " is not a number/null");
     }
     return true;
 }

@@ -18,6 +18,8 @@
  *       "benchmark": "gcc",
  *       "suite": "SPECint",
  *       "config": "nosq/w128",
+ *       "memsys": "l2-1M-lat10-mshr8",   // hierarchy label;
+ *                                        // omitted when unset
  *       "valid": true,
  *       "stats": {
  *         "cycles": ..., "insts": ..., "ipc": ...,
@@ -28,7 +30,16 @@
  *         "reexec_loads": ..., "load_flushes": ...,
  *         "dcache_reads_core": ..., "dcache_reads_backend": ...,
  *         "dcache_writes": ..., "branch_mispredicts": ...,
- *         "sq_forwards": ..., "sq_stalls": ..., "ssn_wrap_drains": ...
+ *         "sq_forwards": ..., "sq_stalls": ..., "ssn_wrap_drains": ...,
+ *         "l1i_hits": ..., "l1i_misses": ...,
+ *         "l1d_hits": ..., "l1d_misses": ..., "l1d_writebacks": ...,
+ *         "l2_hits": ..., "l2_misses": ..., "l2_writebacks": ...,
+ *         "itlb_hits": ..., "itlb_misses": ...,
+ *         "dtlb_hits": ..., "dtlb_misses": ...,
+ *         "mshr_merges": ..., "mshr_stalls": ...,
+ *         "pref_issued": ..., "pref_useful": ..., "miss_cycles": ...,
+ *         "l1d_mpki": ..., "l2_mpki": ...,
+ *         "avg_miss_latency": ..., "pref_accuracy": ...
  *       }
  *     }, ...
  *   ],
@@ -154,6 +165,23 @@ forEachSimCounter(SimResultT &r, Fn &&fn)
     fn("sq_forwards", r.sqForwards);
     fn("sq_stalls", r.sqStalls);
     fn("ssn_wrap_drains", r.ssnWrapDrains);
+    fn("l1i_hits", r.l1iHits);
+    fn("l1i_misses", r.l1iMisses);
+    fn("l1d_hits", r.l1dHits);
+    fn("l1d_misses", r.l1dMisses);
+    fn("l1d_writebacks", r.l1dWritebacks);
+    fn("l2_hits", r.l2Hits);
+    fn("l2_misses", r.l2Misses);
+    fn("l2_writebacks", r.l2Writebacks);
+    fn("itlb_hits", r.itlbHits);
+    fn("itlb_misses", r.itlbMisses);
+    fn("dtlb_hits", r.dtlbHits);
+    fn("dtlb_misses", r.dtlbMisses);
+    fn("mshr_merges", r.mshrMerges);
+    fn("mshr_stalls", r.mshrStalls);
+    fn("pref_issued", r.prefIssued);
+    fn("pref_useful", r.prefUseful);
+    fn("miss_cycles", r.missCycles);
 }
 
 /**

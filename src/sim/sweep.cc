@@ -39,6 +39,7 @@ buildJobs(const SweepSpec &spec)
             job.profile = profile;
             job.params = config.materialize();
             job.config = config.name;
+            job.memsysLabel = config.memsys;
             job.seed = spec.seed;
             job.insts = insts;
             job.warmup = warmup;
@@ -107,6 +108,72 @@ cacheReadsConfigs()
     configs[1].name = "nosq-delay";
     configs[1].mode = LsuMode::Nosq;
     return configs;
+}
+
+namespace {
+
+/** "256K" / "1M" style byte-size label for hierarchy point names. */
+std::string
+sizeLabel(std::size_t bytes)
+{
+    if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
+        return std::to_string(bytes / (1024 * 1024)) + "M";
+    if (bytes >= 1024 && bytes % 1024 == 0)
+        return std::to_string(bytes / 1024) + "K";
+    return std::to_string(bytes);
+}
+
+} // anonymous namespace
+
+std::vector<SweepConfig>
+memsysConfigs(const std::vector<std::size_t> &l2_sizes,
+              const std::vector<Cycle> &l2_lats,
+              const std::vector<unsigned> &mshr_counts,
+              bool with_prefetch)
+{
+    std::vector<SweepConfig> configs;
+    for (const std::size_t size : l2_sizes) {
+        for (const Cycle lat : l2_lats) {
+            for (const unsigned mshrs : mshr_counts) {
+                for (int pref = 0;
+                     pref <= (with_prefetch ? 1 : 0); ++pref) {
+                    const std::string label = "l2-" +
+                        sizeLabel(size) + "-lat" +
+                        std::to_string(lat) + "-mshr" +
+                        std::to_string(mshrs) +
+                        (pref ? "-pref" : "");
+                    for (const LsuMode mode :
+                         {LsuMode::SqStoreSets, LsuMode::Nosq}) {
+                        SweepConfig config;
+                        config.mode = mode;
+                        config.memsys = label;
+                        config.name =
+                            (mode == LsuMode::Nosq ? "nosq/"
+                                                   : "sq/") + label;
+                        const bool prefetch = pref != 0;
+                        config.tweak = [size, lat, mshrs,
+                                        prefetch](UarchParams &p) {
+                            p.memsys.l2.sizeBytes = size;
+                            p.memsys.l2.hitLatency = lat;
+                            p.memsys.mshrs = mshrs;
+                            p.memsys.busContention = true;
+                            p.memsys.prefetchDegree =
+                                prefetch ? 2 : 0;
+                        };
+                        configs.push_back(std::move(config));
+                    }
+                }
+            }
+        }
+    }
+    return configs;
+}
+
+std::vector<SweepConfig>
+memsysConfigs()
+{
+    return memsysConfigs({256 * 1024, 1024 * 1024}, {10, 20},
+                         {2, 8}, /*with_prefetch=*/true);
 }
 
 std::vector<SweepConfig>
@@ -259,6 +326,7 @@ runOne(const SweepJob &job)
                                    : job.benchmark;
     result.suite = job.profile ? job.profile->suite : job.suite;
     result.config = job.config;
+    result.memsys = job.memsysLabel;
     if (job.runner) {
         result.sim = job.runner(job);
         return result;
@@ -316,6 +384,7 @@ failedResult(const SweepJob &job)
                                    : job.benchmark;
     result.suite = job.profile ? job.profile->suite : job.suite;
     result.config = job.config;
+    result.memsys = job.memsysLabel;
     result.valid = false;
     return result;
 }

@@ -56,6 +56,9 @@ struct SweepJob
     UarchParams params;
     /** Stable configuration label carried into the RunResult. */
     std::string config;
+    /** Memory-hierarchy point label (memsys sweeps), carried into
+     * the RunResult's "memsys" report field; usually empty. */
+    std::string memsysLabel;
     /**
      * Benchmark label and suite for custom-runner jobs whose
      * workload is not a BenchmarkProfile (profile == nullptr);
@@ -130,6 +133,8 @@ struct SweepConfig
     LsuMode mode = LsuMode::Nosq;
     bool bigWindow = false;
     bool nosqDelay = true;
+    /** Hierarchy point label (memsysConfigs()); usually empty. */
+    std::string memsys;
     std::function<void(UarchParams &)> tweak;
 
     UarchParams materialize() const;
@@ -191,6 +196,33 @@ SweepConfig sqPerfectBaseline();
  * ("sq-storesets") followed by NoSQ with delay ("nosq-delay").
  */
 std::vector<SweepConfig> cacheReadsConfigs();
+
+/**
+ * Memory-hierarchy scaling dimension (`--sweep=memsys`): the cross
+ * product of L2 size x L2 hit latency x MSHR count x prefetcher
+ * on/off, each hierarchy point run under BOTH the associative-SQ
+ * baseline and NoSQ-with-delay so cache-geometry effects on the
+ * NoSQ-vs-baseline gap are directly comparable. Every point enables
+ * the occupancy-based DRAM-bus model. Config names are
+ * "sq/<label>" and "nosq/<label>" with the hierarchy label (also
+ * placed in SweepConfig::memsys) formatted
+ * "l2-<size>-lat<cycles>-mshr<n>[-pref]". Point-major order: the
+ * SQ run of the first point is the reduction baseline.
+ *
+ * @param with_prefetch add a prefetcher-on twin of every point
+ */
+std::vector<SweepConfig> memsysConfigs(
+    const std::vector<std::size_t> &l2_sizes,
+    const std::vector<Cycle> &l2_lats,
+    const std::vector<unsigned> &mshr_counts,
+    bool with_prefetch);
+
+/**
+ * The default `--sweep=memsys` grid: L2 {256KB, 1MB} x latency
+ * {10, 20} x MSHRs {2, 8} x prefetcher {off, on} = 16 hierarchy
+ * points, 32 configurations.
+ */
+std::vector<SweepConfig> memsysConfigs();
 
 /**
  * Figure 5 (top) dimension: NoSQ configurations sweeping total

@@ -3,15 +3,23 @@
  * Golden-statistics snapshot: bit-identity gate for simulator
  * optimizations.
  *
- * The values below were captured from the pre-optimization simulator
- * (PR 4 seed state) for two contrasting benchmarks under all four
- * LSU modes on both machine sizes, fixed seed and instruction
- * counts. Any core change that perturbs a single simulated counter
- * fails this test: performance work must leave every simulated
- * statistic bit-identical. If a future PR changes simulated
- * *behavior on purpose* (a modeling fix, a new mechanism), it must
- * regenerate this table and say so in its description -- that is the
- * contract that keeps accidental behavioral drift out of perf PRs.
+ * The legacy table below was captured from the pre-optimization
+ * simulator (PR 4 seed state) for two contrasting benchmarks under
+ * all four LSU modes on both machine sizes, fixed seed and
+ * instruction counts. Any core change that perturbs a single
+ * simulated counter fails this test: performance work must leave
+ * every simulated statistic bit-identical. If a future PR changes
+ * simulated *behavior on purpose* (a modeling fix, a new mechanism),
+ * it must regenerate this table and say so in its description --
+ * that is the contract that keeps accidental behavioral drift out of
+ * perf PRs.
+ *
+ * The legacy rows pin the original 20 counters by NAME, so adding
+ * new counters to SimResult (e.g. the PR 5 memory-hierarchy
+ * counters) cannot break them -- only changing the simulated values
+ * can. A second table pins the full counter set for the
+ * MSHR/prefetch/bus-occupancy timing path, locking the non-blocking
+ * memory system against regressions the same way.
  *
  * Regenerate with the loop in this file: run each row's
  * configuration and print the counters in forEachSimCounter order.
@@ -21,6 +29,8 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "ooo/core.hh"
@@ -34,14 +44,36 @@ namespace {
 constexpr std::uint64_t golden_insts = 24000;
 constexpr std::uint64_t golden_warmup = 8000;
 constexpr std::uint64_t golden_seed = 1;
-constexpr std::size_t num_counters = 20;
+
+/** The original counter set the PR 4 seed table pinned. */
+constexpr std::size_t num_legacy_counters = 20;
+const char *const legacy_counter_names[num_legacy_counters] = {
+    "cycles", "insts", "loads", "stores", "branches", "comm_loads",
+    "partial_comm_loads", "bypassed_loads", "shift_uops",
+    "delayed_loads", "bypass_mispredicts", "reexec_loads",
+    "load_flushes", "dcache_reads_core", "dcache_reads_backend",
+    "dcache_writes", "branch_mispredicts", "sq_forwards",
+    "sq_stalls", "ssn_wrap_drains",
+};
+
+/** Every counter, keyed by its report name. */
+std::map<std::string, std::uint64_t>
+counterMap(const SimResult &r)
+{
+    std::map<std::string, std::uint64_t> m;
+    SimResult &mut = const_cast<SimResult &>(r);
+    forEachSimCounter(mut, [&](const char *name, std::uint64_t &v) {
+        m.emplace(name, v);
+    });
+    return m;
+}
 
 struct GoldenRow
 {
     const char *benchmark;
     LsuMode mode;
     bool bigWindow;
-    std::array<std::uint64_t, num_counters> counters;
+    std::array<std::uint64_t, num_legacy_counters> counters;
 };
 
 const GoldenRow golden_rows[] = {
@@ -136,19 +168,118 @@ TEST(GoldenStats, AllModesAndWindowsMatchSeedSimulator)
         OooCore core(makeParams(row.mode, row.bigWindow), program);
         const SimResult r = core.run(golden_insts, golden_warmup);
 
+        const auto counters = counterMap(r);
+        for (std::size_t i = 0; i < num_legacy_counters; ++i) {
+            const char *name = legacy_counter_names[i];
+            const auto it = counters.find(name);
+            ASSERT_NE(it, counters.end()) << name;
+            EXPECT_EQ(it->second, row.counters[i])
+                << row.benchmark << " / " << lsuModeName(row.mode)
+                << " / w" << (row.bigWindow ? 256 : 128)
+                << " counter '" << name << "'";
+        }
+    }
+}
+
+// --- non-blocking memory-system timing path ---------------------------------
+
+/**
+ * The MSHR/prefetch/bus-occupancy configuration pinned below:
+ * 4 MSHRs, degree-2 stream prefetcher, DRAM-bus occupancy, and a
+ * smaller/slower L2 (256KB, 12 cycles) so the new machinery is
+ * exercised hard. Captured at PR 5; regenerate (and say so) only
+ * when the memory-system timing changes on purpose.
+ */
+UarchParams
+memsysGoldenParams(LsuMode mode)
+{
+    UarchParams params = makeParams(mode, /*big_window=*/false);
+    params.memsys.mshrs = 4;
+    params.memsys.busContention = true;
+    params.memsys.prefetchDegree = 2;
+    params.memsys.l2.sizeBytes = 256 * 1024;
+    params.memsys.l2.hitLatency = 12;
+    return params;
+}
+
+constexpr std::size_t num_all_counters = 37;
+
+struct MemsysGoldenRow
+{
+    const char *benchmark;
+    LsuMode mode;
+    std::array<std::uint64_t, num_all_counters> counters;
+};
+
+const MemsysGoldenRow memsys_golden_rows[] = {
+    {"gcc", LsuMode::SqStoreSets,
+     {9546, 24000, 2175, 2234, 3347, 166,
+      36, 0, 0, 0, 0, 22,
+      9, 2231, 22, 2234, 168, 148,
+      0, 0, 6738, 6, 4483, 4,
+      0, 0, 10, 0, 6744, 0,
+      4479, 8, 4, 0, 498, 498,
+      726}},
+    {"gcc", LsuMode::Nosq,
+     {10003, 24000, 2175, 2234, 3347, 166,
+      36, 115, 4, 0, 18, 75,
+      18, 2166, 75, 2234, 187, 0,
+      0, 0, 6907, 6, 4471, 4,
+      0, 0, 10, 0, 6913, 0,
+      4467, 8, 4, 0, 499, 499,
+      724}},
+    {"g721.e", LsuMode::SqStoreSets,
+     {16688, 24000, 1231, 1291, 3022, 85,
+      72, 0, 0, 0, 0, 4,
+      3, 1246, 4, 1291, 474, 63,
+      35, 0, 6808, 28, 2541, 0,
+      0, 0, 28, 0, 6836, 0,
+      2535, 6, 0, 0, 287, 287,
+      0}},
+    {"g721.e", LsuMode::Nosq,
+     {16904, 24000, 1231, 1291, 3022, 85,
+      72, 40, 27, 12, 12, 50,
+      12, 1210, 50, 1291, 485, 0,
+      0, 0, 6945, 28, 2551, 0,
+      0, 0, 28, 0, 6973, 0,
+      2545, 6, 0, 0, 287, 287,
+      0}},
+};
+
+TEST(GoldenStats, MshrPrefetchBusTimingPathMatchesPinnedRun)
+{
+    for (const MemsysGoldenRow &row : memsys_golden_rows) {
+        const BenchmarkProfile *profile = findProfile(row.benchmark);
+        ASSERT_NE(profile, nullptr) << row.benchmark;
+        const Program program = synthesize(*profile, golden_seed);
+        OooCore core(memsysGoldenParams(row.mode), program);
+        const SimResult r = core.run(golden_insts, golden_warmup);
+
         std::size_t i = 0;
         SimResult &mut = const_cast<SimResult &>(r);
         forEachSimCounter(mut, [&](const char *name,
                                    std::uint64_t &v) {
-            ASSERT_LT(i, num_counters);
+            ASSERT_LT(i, num_all_counters);
             EXPECT_EQ(v, row.counters[i])
                 << row.benchmark << " / " << lsuModeName(row.mode)
-                << " / w" << (row.bigWindow ? 256 : 128)
                 << " counter '" << name << "'";
             ++i;
         });
-        EXPECT_EQ(i, num_counters);
+        EXPECT_EQ(i, num_all_counters);
     }
+}
+
+/**
+ * The memsys golden path must also differ between the LSU modes --
+ * the whole point of the hierarchy sweep is that cache-geometry
+ * effects on the NoSQ-vs-baseline gap are visible.
+ */
+TEST(GoldenStats, MemsysPathSeparatesLsuModes)
+{
+    const auto &sq = memsys_golden_rows[0];
+    const auto &nosq = memsys_golden_rows[1];
+    EXPECT_NE(sq.counters[0], nosq.counters[0]);   // cycles
+    EXPECT_NE(sq.counters[13], nosq.counters[13]); // core dcache reads
 }
 
 } // anonymous namespace

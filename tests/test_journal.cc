@@ -191,6 +191,50 @@ TEST(Fingerprint, SensitiveToUarchParams)
     SweepJob delay = base;
     delay.params.nosqDelay = false;
     EXPECT_NE(jobFingerprint(base), jobFingerprint(delay));
+
+    // The PR 5 memory-system knobs (and the hierarchy label) are
+    // part of the tuple: a journal from a legacy-model sweep must
+    // never satisfy an MSHR-enabled one.
+    SweepJob mshrs = base;
+    mshrs.params.memsys.mshrs = 8;
+    EXPECT_NE(jobFingerprint(base), jobFingerprint(mshrs));
+    SweepJob pref = base;
+    pref.params.memsys.prefetchDegree = 2;
+    EXPECT_NE(jobFingerprint(base), jobFingerprint(pref));
+    SweepJob bus = base;
+    bus.params.memsys.busContention = true;
+    EXPECT_NE(jobFingerprint(base), jobFingerprint(bus));
+    SweepJob label = base;
+    label.memsysLabel = "l2-1M-lat10-mshr8";
+    EXPECT_NE(jobFingerprint(base), jobFingerprint(label));
+}
+
+TEST(Journal, MemsysLabelRoundTripsThroughResume)
+{
+    const std::string path = tempPath("memsys_label");
+    SweepSpec spec;
+    spec.benchmarks = {findProfile("gcc")};
+    spec.configs = memsysConfigs({256 * 1024}, {12}, {4},
+                                 /*with_prefetch=*/false);
+    spec.insts = test_insts;
+    const std::vector<SweepJob> jobs = buildJobs(spec);
+    ASSERT_EQ(jobs.size(), 2u);
+    ASSERT_EQ(jobs[0].memsysLabel, "l2-256K-lat12-mshr4");
+
+    {
+        SweepJournal journal = SweepJournal::create(path);
+        const auto results = runSweep(jobs, journal, 1);
+        EXPECT_EQ(results[0].memsys, "l2-256K-lat12-mshr4");
+    }
+    // A resumed run loads every row from the journal; the label
+    // must survive, or the merged report would drop the field.
+    SweepJournal resumed = SweepJournal::resume(path);
+    const auto results = runSweep(jobs, resumed, 1);
+    EXPECT_EQ(resumed.doneCount(), 2u);
+    EXPECT_EQ(results[0].memsys, "l2-256K-lat12-mshr4");
+    EXPECT_EQ(results[1].memsys, "l2-256K-lat12-mshr4");
+    EXPECT_TRUE(resumed.warnings().empty());
+    std::remove(path.c_str());
 }
 
 TEST(Fingerprint, SweepSpecHashCoversCountAndOrder)

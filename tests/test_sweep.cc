@@ -289,6 +289,124 @@ TEST(Sweep, PredictorGeometryConfigs)
     EXPECT_EQ(bounded_only[1].name, "hist-8b");
 }
 
+TEST(Sweep, MemsysConfigsCrossProduct)
+{
+    // 2 sizes x 1 latency x 2 MSHR counts x {off, on} prefetch
+    // = 8 hierarchy points, each under sq + nosq.
+    const auto configs = memsysConfigs(
+        {256 * 1024, 1024 * 1024}, {20}, {2, 8},
+        /*with_prefetch=*/true);
+    ASSERT_EQ(configs.size(), 16u);
+
+    EXPECT_EQ(configs[0].name, "sq/l2-256K-lat20-mshr2");
+    EXPECT_EQ(configs[0].mode, LsuMode::SqStoreSets);
+    EXPECT_EQ(configs[0].memsys, "l2-256K-lat20-mshr2");
+    EXPECT_EQ(configs[1].name, "nosq/l2-256K-lat20-mshr2");
+    EXPECT_EQ(configs[1].mode, LsuMode::Nosq);
+
+    const UarchParams p = configs[1].materialize();
+    EXPECT_EQ(p.memsys.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(p.memsys.l2.hitLatency, 20u);
+    EXPECT_EQ(p.memsys.mshrs, 2u);
+    EXPECT_TRUE(p.memsys.busContention);
+    EXPECT_EQ(p.memsys.prefetchDegree, 0u);
+
+    // The prefetch twin follows its plain point.
+    EXPECT_EQ(configs[3].name, "nosq/l2-256K-lat20-mshr2-pref");
+    EXPECT_EQ(configs[3].materialize().memsys.prefetchDegree, 2u);
+
+    // The default grid spans the advertised 16 points x 2 modes.
+    const auto full = memsysConfigs();
+    EXPECT_EQ(full.size(), 32u);
+
+    // The label reaches the job (and thence the report row).
+    SweepSpec spec;
+    spec.benchmarks = {findProfile("gcc")};
+    spec.configs = {configs[0], configs[1]};
+    spec.insts = 1000;
+    const auto jobs = buildJobs(spec);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].memsysLabel, "l2-256K-lat20-mshr2");
+    EXPECT_EQ(jobs[1].memsysLabel, "l2-256K-lat20-mshr2");
+}
+
+TEST(Report, MemsysLabelEmittedOnlyWhenSet)
+{
+    RunResult r;
+    r.benchmark = "gcc";
+    r.suite = Suite::Int;
+    r.config = "nosq/l2-1M-lat10-mshr8";
+    r.sim.cycles = 10;
+    r.sim.insts = 20;
+
+    // No label: the field is omitted entirely.
+    EXPECT_EQ(toJson(r).find("memsys"), std::string::npos);
+
+    r.memsys = "l2-1M-lat10-mshr8";
+    const std::string with = toJson(r);
+    EXPECT_NE(with.find("\"memsys\": \"l2-1M-lat10-mshr8\""),
+              std::string::npos);
+
+    // A labeled report passes the strict validator...
+    const std::string report = sweepReportJson({r}, 20, r.config);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(report, doc, &error)) << error;
+    EXPECT_TRUE(validateSweepReport(doc, &error)) << error;
+
+    // ...and a non-string memsys field is rejected.
+    std::string bad = report;
+    const std::string needle = "\"memsys\": \"l2-1M-lat10-mshr8\"";
+    bad.replace(bad.find(needle), needle.size(), "\"memsys\": 17");
+    JsonValue bad_doc;
+    ASSERT_TRUE(parseJson(bad, bad_doc, &error)) << error;
+    EXPECT_FALSE(validateSweepReport(bad_doc, &error));
+}
+
+TEST(Report, ValidatorAcceptsPreHierarchyV2Reports)
+{
+    // The hierarchy counters were added to v2 additively: a report
+    // emitted before they existed (stats without any l1*/l2*/
+    // tlb/mshr/pref/miss_cycles/derived-MPKI key) must still
+    // validate, because the schema string was not bumped.
+    RunResult r;
+    r.benchmark = "gcc";
+    r.suite = Suite::Int;
+    r.config = "nosq/w128";
+    r.sim.cycles = 10;
+    r.sim.insts = 20;
+    const std::string report = sweepReportJson({r}, 20, r.config);
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(report, doc, &error)) << error;
+
+    // Strip every post-v2-introduction key from the stats block,
+    // reconstructing the original emission.
+    JsonValue *stats = const_cast<JsonValue *>(
+        doc.find("runs")->array[0].find("stats"));
+    ASSERT_NE(stats, nullptr);
+    const std::vector<std::string> legacy = {
+        "cycles", "insts", "loads", "stores", "branches",
+        "comm_loads", "partial_comm_loads", "bypassed_loads",
+        "shift_uops", "delayed_loads", "bypass_mispredicts",
+        "reexec_loads", "load_flushes", "dcache_reads_core",
+        "dcache_reads_backend", "dcache_writes",
+        "branch_mispredicts", "sq_forwards", "sq_stalls",
+        "ssn_wrap_drains", "ipc"};
+    std::vector<std::pair<std::string, JsonValue>> kept;
+    for (auto &member : stats->object)
+        for (const std::string &key : legacy)
+            if (member.first == key)
+                kept.push_back(member);
+    ASSERT_EQ(kept.size(), legacy.size());
+    stats->object = kept;
+    EXPECT_TRUE(validateSweepReport(doc, &error)) << error;
+
+    // But a missing LEGACY key is still a hard failure.
+    stats->object.erase(stats->object.begin()); // drops "cycles"
+    EXPECT_FALSE(validateSweepReport(doc, &error));
+}
+
 TEST(SweepProgress, ReportsEveryCompletion)
 {
     const std::vector<SweepJob> jobs = smallJobList();

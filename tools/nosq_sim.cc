@@ -66,6 +66,13 @@ usage()
         "(re-execute all)\n"
         "  --history BITS        bypassing predictor history bits\n"
         "  --entries N           bypassing predictor entries/table\n"
+        "  --mshrs N             L1D miss-status holding registers\n"
+        "                        (0: legacy blocking-latency miss\n"
+        "                        model, the default)\n"
+        "  --prefetch N          stream-prefetcher degree (lines per\n"
+        "                        trigger; 0: off, the default)\n"
+        "  --bus-occupancy       model DRAM-bus occupancy (queueing)\n"
+        "                        instead of the flat transfer cost\n"
         "  --seed N              workload seed (default 1)\n"
         "sweep mode:\n"
         "  --sweep               run a modes x windows x benchmarks\n"
@@ -79,6 +86,13 @@ usage()
         "                        SQ+perfect baseline\n"
         "  --sweep=cache-reads   Fig. 4 pair: NoSQ vs the\n"
         "                        associative-SQ baseline\n"
+        "  --sweep=memsys        memory-hierarchy dimension: L2\n"
+        "                        size/latency x MSHR count x\n"
+        "                        prefetcher on/off (16 points, DRAM\n"
+        "                        bus occupancy on), each point under\n"
+        "                        both the associative-SQ baseline\n"
+        "                        and NoSQ; report rows carry a\n"
+        "                        \"memsys\" hierarchy label\n"
         "  --jobs N              worker threads (default: NOSQ_JOBS\n"
         "                        env, else hardware concurrency)\n"
         "  --suite NAME          media | int | fp | selected | all\n"
@@ -113,9 +127,10 @@ usage()
         "                        stdout instead of a table\n"
         "  --out FILE            write the JSON report to FILE (the\n"
         "                        table still prints without --json)\n"
-        "  (--no-delay, --no-svw, --history, --entries apply to\n"
-        "   every sweep configuration; the swept dimension wins on\n"
-        "   its own knob, and --history takes a comma list as the\n"
+        "  (--no-delay, --no-svw, --history, --entries, --mshrs,\n"
+        "   --prefetch, --bus-occupancy apply to every sweep\n"
+        "   configuration; the swept dimension wins on its own\n"
+        "   knob, and --history takes a comma list as the\n"
         "   --sweep=history points)\n"
         "validation mode:\n"
         "  --validate FILE       strict-parse FILE and check it\n"
@@ -176,7 +191,7 @@ splitList(const std::string &list)
 }
 
 /** Which family of configurations a sweep invocation runs. */
-enum class SweepKind { Cross, Capacity, History, CacheReads };
+enum class SweepKind { Cross, Capacity, History, CacheReads, Memsys };
 
 struct SweepOptions
 {
@@ -204,6 +219,11 @@ struct SweepOptions
     unsigned history_bits = 8;
     bool entries_set = false;
     unsigned entries = 1024;
+    bool mshrs_set = false;
+    unsigned mshrs = 0;
+    bool prefetch_set = false;
+    unsigned prefetch = 0;
+    bool bus_occupancy = false;
 };
 
 /**
@@ -357,6 +377,8 @@ runSweepMode(const SweepOptions &opt)
         }
         if (opt.kind == SweepKind::CacheReads)
             spec.configs = cacheReadsConfigs();
+        else if (opt.kind == SweepKind::Memsys)
+            spec.configs = memsysConfigs();
         else
             spec.configs.push_back(sqPerfectBaseline());
         if (opt.kind == SweepKind::Capacity) {
@@ -420,6 +442,12 @@ runSweepMode(const SweepOptions &opt)
                 p.bypass.historyBits = opt.history_bits;
             if (opt.entries_set)
                 p.bypass.entriesPerTable = opt.entries;
+            if (opt.mshrs_set)
+                p.memsys.mshrs = opt.mshrs;
+            if (opt.prefetch_set)
+                p.memsys.prefetchDegree = opt.prefetch;
+            if (opt.bus_occupancy)
+                p.memsys.busContention = true;
             if (dimension)
                 dimension(p);
         };
@@ -578,6 +606,9 @@ main(int argc, char **argv)
     std::string history_arg;
     unsigned history_bits = 8;
     unsigned entries = 1024;
+    unsigned mshrs = 0;
+    unsigned prefetch = 0;
+    bool bus_occupancy = false;
     std::uint64_t seed = 1;
     bool sweep = false;
     bool perf = false;
@@ -586,6 +617,8 @@ main(int argc, char **argv)
     bool windows_set = false;
     bool history_set = false;
     bool entries_set = false;
+    bool mshrs_set = false;
+    bool prefetch_set = false;
     std::string validate_path;
     SweepOptions sweep_opt;
 
@@ -638,6 +671,30 @@ main(int argc, char **argv)
             }
             entries = static_cast<unsigned>(v);
             entries_set = true;
+        } else if (arg == "--mshrs") {
+            const char *value = next();
+            unsigned long v = 0;
+            if (!parseUnsigned(value, v) || v > 256) {
+                std::fprintf(stderr, "invalid --mshrs '%s' "
+                             "(0..256; 0 disables the non-blocking "
+                             "model)\n", value);
+                return 1;
+            }
+            mshrs = static_cast<unsigned>(v);
+            mshrs_set = true;
+        } else if (arg == "--prefetch") {
+            const char *value = next();
+            unsigned long v = 0;
+            if (!parseUnsigned(value, v) || v > 64) {
+                std::fprintf(stderr, "invalid --prefetch '%s' "
+                             "(degree 0..64; 0 disables the "
+                             "prefetcher)\n", value);
+                return 1;
+            }
+            prefetch = static_cast<unsigned>(v);
+            prefetch_set = true;
+        } else if (arg == "--bus-occupancy") {
+            bus_occupancy = true;
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--perf") {
@@ -653,10 +710,12 @@ main(int argc, char **argv)
                 sweep_opt.kind = SweepKind::History;
             } else if (dimension == "cache-reads") {
                 sweep_opt.kind = SweepKind::CacheReads;
+            } else if (dimension == "memsys") {
+                sweep_opt.kind = SweepKind::Memsys;
             } else {
                 std::fprintf(stderr, "unknown sweep dimension '%s' "
-                             "(capacity | history | cache-reads)\n",
-                             dimension.c_str());
+                             "(capacity | history | cache-reads | "
+                             "memsys)\n", dimension.c_str());
                 return 1;
             }
         } else if (arg == "--capacities") {
@@ -798,6 +857,15 @@ main(int argc, char **argv)
             sweep_opt.entries_set = true;
             sweep_opt.entries = entries;
         }
+        if (mshrs_set) {
+            sweep_opt.mshrs_set = true;
+            sweep_opt.mshrs = mshrs;
+        }
+        if (prefetch_set) {
+            sweep_opt.prefetch_set = true;
+            sweep_opt.prefetch = prefetch;
+        }
+        sweep_opt.bus_occupancy = bus_occupancy;
         return runSweepMode(sweep_opt);
     }
 
@@ -823,14 +891,18 @@ main(int argc, char **argv)
     params.svwFilter = svw;
     params.bypass.historyBits = history_bits;
     params.bypass.entriesPerTable = entries;
+    params.memsys.mshrs = mshrs;
+    params.memsys.prefetchDegree = prefetch;
+    params.memsys.busContention = bus_occupancy;
     if (!warmup_set)
         warmup = insts / 3;
 
     std::printf("benchmark %s | %s | window %u | delay %s | "
-                "SVW %s\n\n",
+                "SVW %s | mshrs %u | prefetch %u | bus %s\n\n",
                 profile->name, lsuModeName(lsu),
                 big_window ? 256u : 128u, delay ? "on" : "off",
-                svw ? "on" : "off");
+                svw ? "on" : "off", mshrs, prefetch,
+                bus_occupancy ? "occupancy" : "flat");
 
     OooCore core(params, ProgramCache::global().get(*profile, seed));
     const SimResult r = core.run(insts, warmup);
@@ -867,6 +939,25 @@ main(int argc, char **argv)
     count("SQ forwards", r.sqForwards);
     count("SQ partial-overlap stalls", r.sqStalls);
     count("SSN wrap drains", r.ssnWrapDrains);
+    count("L1I hits", r.l1iHits);
+    count("L1I misses", r.l1iMisses);
+    count("L1D hits", r.l1dHits);
+    count("L1D misses", r.l1dMisses);
+    count("L1D writebacks", r.l1dWritebacks);
+    row("L1D MPKI", fmtDouble(r.l1dMpki(), 2));
+    count("L2 hits", r.l2Hits);
+    count("L2 misses", r.l2Misses);
+    count("L2 writebacks", r.l2Writebacks);
+    row("L2 MPKI", fmtDouble(r.l2Mpki(), 2));
+    count("DTLB misses", r.dtlbMisses);
+    count("ITLB misses", r.itlbMisses);
+    row("avg L1D miss latency", fmtDouble(r.avgMissLatency(), 1));
+    count("MSHR secondary merges", r.mshrMerges);
+    count("MSHR occupancy stalls", r.mshrStalls);
+    count("prefetch fills", r.prefIssued);
+    count("prefetch useful", r.prefUseful);
+    row("prefetch accuracy %",
+        fmtDouble(100 * r.prefetchAccuracy(), 1));
     std::fputs(table.render().c_str(), stdout);
     return 0;
 }
