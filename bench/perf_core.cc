@@ -37,6 +37,14 @@ main(int argc, char **argv)
                    fmtDouble(run.wallMs, 1),
                    fmtDouble(run.mips, 2)});
     }
+    // Stall-heavy extension rows (not in the totals; the sampled
+    // row's insts/MIPS count traversed instructions).
+    for (const PerfRun &run : report.extraRuns) {
+        table.row({run.benchmark, run.config,
+                   std::to_string(run.simInsts),
+                   fmtDouble(run.wallMs, 1),
+                   fmtDouble(run.mips, 2)});
+    }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\nTotal: %llu simulated instructions in %.1f ms "
                 "= %.2f MIPS\n",

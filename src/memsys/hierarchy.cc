@@ -62,16 +62,20 @@ MemHierarchy::MemHierarchy(const MemSysParams &params_)
 Cycle
 MemHierarchy::mergeCompletion(Mshr &m, Cycle earliest)
 {
+    Cycle done;
     if (m.targets < mshrFile.targetCapacity()) {
         ++m.targets;
         ++numMshrMerges;
-        return std::max(earliest, m.readyAt);
+        done = std::max(earliest, m.readyAt);
+    } else {
+        // Merge targets exhausted: the access cannot register with
+        // the fill and must retry the cache after the data lands,
+        // paying one extra hit.
+        ++numMshrStalls;
+        done = std::max(earliest, m.readyAt + params.l1d.hitLatency);
     }
-    // Merge targets exhausted: the access cannot register with the
-    // fill and must retry the cache after the data lands, paying
-    // one extra hit.
-    ++numMshrStalls;
-    return std::max(earliest, m.readyAt + params.l1d.hitLatency);
+    publishCompletion(done);
+    return done;
 }
 
 Cycle
@@ -146,6 +150,7 @@ MemHierarchy::dataRead(Addr addr, Cycle now)
     } else if (!mshrFile.enabled()) {
         lat = params.l1d.hitLatency +
             fillFromL2(addr, false, now + tlb_lat);
+        publishCompletion(now + tlb_lat + lat);
     } else {
         const Cycle stall = mshrFile.stallUntilFree(now);
         if (stall > 0)
@@ -155,6 +160,7 @@ MemHierarchy::dataRead(Addr addr, Cycle now)
         // readyAt is the absolute completion of THIS access --
         // exactly when the returned latency elapses.
         mshrFile.allocate(line, now, now + tlb_lat + lat);
+        publishCompletion(now + tlb_lat + lat);
     }
     numMissCycles += lat;
     if (prefetcher.enabled())
@@ -180,6 +186,7 @@ MemHierarchy::dataWrite(Addr addr, Cycle now)
     // bandwidth but never hold an MSHR against demand loads.
     const Cycle lat = params.l1d.hitLatency +
         fillFromL2(addr, true, now + tlb_lat);
+    publishCompletion(now + tlb_lat + lat);
     numMissCycles += lat;
     if (prefetcher.enabled())
         streamEvent(line);
@@ -192,8 +199,29 @@ MemHierarchy::instFetch(Addr addr, Cycle now)
     const Cycle tlb_lat = instTlb.access(addr);
     if (l1iCache.access(addr, false))
         return tlb_lat + params.l1i.hitLatency;
-    return tlb_lat + params.l1i.hitLatency +
+    const Cycle lat = tlb_lat + params.l1i.hitLatency +
         fillFromL2(addr, false, now + tlb_lat);
+    publishCompletion(now + lat);
+    return lat;
+}
+
+void
+MemHierarchy::warmDataAccess(Addr addr, bool write)
+{
+    // Mirror of dataRead/dataWrite metadata effects: the same TLB,
+    // tag, LRU, and dirty updates (access() installs on miss), minus
+    // MSHRs, bus slots, prefetch streams, and event publication.
+    dataTlb.access(addr);
+    if (!l1dCache.access(addr, write))
+        l2Cache.access(addr, write);
+}
+
+void
+MemHierarchy::warmInstFetch(Addr addr)
+{
+    instTlb.access(addr);
+    if (!l1iCache.access(addr, false))
+        l2Cache.access(addr, false);
 }
 
 MemSysStats

@@ -27,6 +27,7 @@
 #include "memsys/cache.hh"
 #include "memsys/mshr.hh"
 #include "memsys/prefetch.hh"
+#include "sim/events.hh"
 
 namespace nosq {
 
@@ -151,9 +152,36 @@ class MemHierarchy
     /** Instruction fetch at cycle @p now: @return total latency. */
     Cycle instFetch(Addr addr, Cycle now);
 
+    /**
+     * Functional warming (sampled simulation): apply the
+     * architectural metadata effects of a data access -- TLB, tag,
+     * LRU, and dirty state through L1D and L2 -- without any of the
+     * timing machinery (no MSHRs, bus slots, prefetch streams, or
+     * event publication). Fast-forward drives this per skipped load
+     * and store so the cache image tracks the program and a short
+     * detailed warmup suffices before each measured interval.
+     * Counters still tick; measured windows subtract a post-warmup
+     * stats() snapshot, so warming never leaks into measured
+     * statistics.
+     */
+    void warmDataAccess(Addr addr, bool write);
+
+    /** Functional warming of the instruction-fetch path (ITLB, L1I,
+     * L2), same contract as warmDataAccess(). */
+    void warmInstFetch(Addr addr);
+
     /** Full counter snapshot (monotonic; subtract two snapshots to
      * window a measurement). */
     MemSysStats stats() const;
+
+    /**
+     * Install a next-event sink: every miss publishes its absolute
+     * completion cycle (MSHR fill ready-at, bus-slot-delayed line
+     * arrival, I-cache fill) so the core's event-driven skip can
+     * fast-forward quiescent stretches. Null (the default) disables
+     * publication.
+     */
+    void setEventSink(EventHorizon *sink) { events = sink; }
 
     Cache &l1d() { return l1dCache; }
     Cache &l1i() { return l1iCache; }
@@ -179,8 +207,16 @@ class MemHierarchy
     /** Stream-event hook (demand miss or prefetched-line hit):
      * stride detection + prefetch fills. */
     void streamEvent(Addr line);
+    /** Publish an absolute completion cycle to the event sink. */
+    void
+    publishCompletion(Cycle when)
+    {
+        if (events != nullptr)
+            events->publish(when);
+    }
 
     MemSysParams params;
+    EventHorizon *events = nullptr;
     Cache l1iCache;
     Cache l1dCache;
     Cache l2Cache;

@@ -49,22 +49,6 @@ nextPow2(std::size_t n)
 }
 
 /**
- * Livelock-guard cycle bound: total * 1000 + 1000000, saturating at
- * UINT64_MAX instead of wrapping for astronomically large
- * instruction budgets (a wrapped bound would fire the assert on the
- * very first cycle).
- */
-std::uint64_t
-livelockBound(std::uint64_t total)
-{
-    constexpr std::uint64_t max = ~std::uint64_t(0);
-    constexpr std::uint64_t slack = 1000000;
-    if (total > (max - slack) / 1000)
-        return max;
-    return total * 1000 + slack;
-}
-
-/**
  * Copy a (warmup-windowed) hierarchy snapshot into the run's
  * statistics block (SimResult shares the counter field names).
  */
@@ -96,11 +80,45 @@ OooCore::OooCore(const UarchParams &params_,
     storeSeqMask = storeSeqRing.size() - 1;
     for (const auto &[base, bytes] : program->initData)
         image.writeBytes(base, bytes.data(), bytes.size());
+    skipEnabled = params.eventSkip;
+    if (skipEnabled)
+        mem.setEventSink(&events);
 }
 
 OooCore::OooCore(const UarchParams &params_, const Program &program)
     : OooCore(params_, std::make_shared<const Program>(program))
 {
+}
+
+/**
+ * Livelock-guard cycle bound: total * 1000 + 1000000, saturating at
+ * UINT64_MAX instead of wrapping for astronomically large
+ * instruction budgets (a wrapped bound would fire the assert on the
+ * very first cycle).
+ */
+std::uint64_t
+OooCore::livelockBound(std::uint64_t total)
+{
+    constexpr std::uint64_t max = ~std::uint64_t(0);
+    constexpr std::uint64_t slack = 1000000;
+    if (total > (max - slack) / 1000)
+        return max;
+    return total * 1000 + slack;
+}
+
+void
+OooCore::runUntilCommitted(std::uint64_t target,
+                           std::uint64_t cycle_bound)
+{
+    commitBudget = target;
+    while (committed < target) {
+        tick();
+        if (traceExhausted && rob.empty() && fetchQueue.empty())
+            break;
+        nosq_assert(cycle < cycle_bound,
+                    "simulation livelock suspected");
+        maybeSkip();
+    }
 }
 
 SimResult
@@ -113,14 +131,7 @@ OooCore::run(std::uint64_t max_insts, std::uint64_t warmup_insts)
     if (warmup_insts > 0) {
         // Warm caches, predictors, and filters; then restart the
         // statistics at an exact instruction boundary.
-        commitBudget = warmup_insts;
-        while (committed < warmup_insts) {
-            tick();
-            if (traceExhausted && rob.empty() && fetchQueue.empty())
-                break;
-            nosq_assert(cycle < cycle_bound,
-                        "simulation livelock suspected");
-        }
+        runUntilCommitted(warmup_insts, cycle_bound);
         res = SimResult();
         cycle_base = cycle;
     }
@@ -130,14 +141,7 @@ OooCore::run(std::uint64_t max_insts, std::uint64_t warmup_insts)
     // way the cycle count is.
     const MemSysStats mem_base = mem.stats();
 
-    commitBudget = total;
-    while (committed < total) {
-        tick();
-        if (traceExhausted && rob.empty() && fetchQueue.empty())
-            break;
-        nosq_assert(cycle < cycle_bound,
-                    "simulation livelock suspected");
-    }
+    runUntilCommitted(total, cycle_bound);
     res.cycles = cycle - cycle_base;
     res.insts = committed - warmup_insts;
     exportMemStats(mem.stats() - mem_base, res);
@@ -148,11 +152,138 @@ void
 OooCore::tick()
 {
     ++cycle;
+    tickWork = false;
     doRetire();
     doBackendEntry();
     doIssue();
     doRename();
     doFetch();
+}
+
+// ---------------------------------------------------------------------
+// Event-driven cycle skipping
+// ---------------------------------------------------------------------
+
+/**
+ * After a fully quiescent tick, jump the clock to just before the
+ * earliest cycle at which any stage could possibly act. Every
+ * skipped cycle is provably a no-op -- nextEventCycle() never
+ * overshoots the first cycle where state would change -- so all
+ * simulated statistics, including the final cycle count, are
+ * bit-identical with skipping on or off (the golden-stats gate and
+ * the skip-identity property test both pin this).
+ */
+void
+OooCore::maybeSkip()
+{
+    if (!skipEnabled || tickWork)
+        return;
+    const Cycle wake = nextEventCycle();
+    if (wake == EventHorizon::no_event || wake <= cycle + 1)
+        return;
+    res.skippedCycles += wake - cycle - 1;
+    cycle = wake - 1;
+}
+
+/**
+ * Conservative lower bound on the next cycle where any pipeline
+ * stage can make progress, assuming the just-finished tick was
+ * quiescent. Purely time-gated conditions contribute their known
+ * wake cycles; state-gated conditions (structure-full stalls,
+ * store-commit waits) are released only by other activity, whose
+ * wake cycles are already in the set. Anything this analysis cannot
+ * prove quiescent contributes cycle + 1, which degrades to plain
+ * ticking rather than risking an overshoot.
+ */
+Cycle
+OooCore::nextEventCycle()
+{
+    Cycle wake = EventHorizon::no_event;
+    const auto consider = [&](Cycle c) {
+        if (c > cycle && c < wake)
+            wake = c;
+    };
+
+    // Retirement: the in-order back end drains at a fixed depth.
+    if (!rob.empty() && rob.front().inBackend)
+        consider(rob.front().retireCycle);
+
+    // Back-end entry: the oldest instruction not yet in the back
+    // end enters once complete (per-cycle port limits cannot block
+    // the first entry of a cycle).
+    if (backendCount < rob.size()) {
+        const Inflight &head = rob.at(backendCount);
+        if (head.completedFlag)
+            consider(head.completeCycle);
+    }
+
+    // Issue: a waiting candidate wakes when its sources become
+    // ready. Candidates whose sources are already ready are gated by
+    // a memory-ordering rule: store-commit waits are released by the
+    // retirement chain (the awaited store is older and already
+    // contributes a wake), and baseline designated-store waits end
+    // at the store's known completion cycle.
+    if (!iqWaiting.empty()) {
+        const InstSeq front_seq = rob.front().di.seq;
+        for (const InstSeq seq : iqWaiting) {
+            const Inflight &inf =
+                rob.at(static_cast<std::size_t>(seq - front_seq));
+            Cycle src = 0;
+            if (inf.physA != invalid_phys_reg)
+                src = std::max(src, rename.readyAt(inf.physA));
+            if (inf.physB != invalid_phys_reg)
+                src = std::max(src, rename.readyAt(inf.physB));
+            if (src > cycle) {
+                consider(src);
+                continue;
+            }
+            if (inf.waitStoreCommit)
+                continue; // released by the retirement chain
+            const bool is_load =
+                !inf.isShiftUop && inf.di.cls == InstClass::Load;
+            if (is_load && !params.isNosq() &&
+                inf.depSsn != invalid_ssn &&
+                inf.depSsn > ssn.commit) {
+                const Inflight *store = findStoreBySsn(inf.depSsn);
+                if (store != nullptr) {
+                    if (store->completedFlag)
+                        consider(store->completeCycle);
+                    // else: the store is itself a waiting candidate
+                    // and contributes its own wake.
+                    continue;
+                }
+            }
+            // Sources ready with no recognized time-gated reason not
+            // to have issued: don't skip past it.
+            consider(cycle + 1);
+        }
+    }
+
+    // Rename: the fetch-queue head matures at a fixed cycle;
+    // structural stalls are released by the window chain above.
+    if (!fetchQueue.empty()) {
+        const Cycle ready = fetchQueue.front().renameReady;
+        if (ready > cycle)
+            consider(ready);
+        else if (rob.empty())
+            consider(cycle + 1); // no window chain to release it
+    }
+
+    // Fetch: a pending I-cache fill or redirect penalty expires at a
+    // known cycle. With a redirect outstanding, fetch waits on the
+    // branch's issue (an issue-chain wake).
+    if (!traceExhausted && redirectWaitSeq == 0) {
+        if (fetchStalledUntil > cycle)
+            consider(fetchStalledUntil);
+        else if (!fetchQueue.full())
+            consider(cycle + 1); // fetch could act: don't skip
+    }
+
+    // Completion times the memory system published (MSHR fills, bus
+    // slots, I-cache fills) -- advisory early wakes.
+    consider(events.nextAfter(cycle));
+
+    return wake;
 }
 
 // ---------------------------------------------------------------------
@@ -185,6 +316,7 @@ OooCore::doFetch()
         // Instruction cache: one access per group; a miss stalls the
         // whole group until the fill returns.
         if (fetched == 0) {
+            tickWork = true; // the access mutates hierarchy state
             const Cycle lat = mem.instFetch(di.pc, cycle);
             if (lat > params.memsys.l1i.hitLatency) {
                 fetchStalledUntil = cycle + lat;

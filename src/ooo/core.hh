@@ -39,9 +39,14 @@
 #include "ooo/rename.hh"
 #include "ooo/sim_stats.hh"
 #include "ooo/uarch_params.hh"
+#include "sim/events.hh"
+#include "sim/sampling.hh"
 #include "workload/functional.hh"
 
 namespace nosq {
+
+/** Store PC table size: SSN -> PC for committed stores (SPCT). */
+inline constexpr std::size_t spct_size = 1 << 16;
 
 /** One in-flight instruction. */
 struct Inflight
@@ -135,6 +140,15 @@ class OooCore
     SimResult run(std::uint64_t max_insts,
                   std::uint64_t warmup_insts = 0);
 
+    /**
+     * SMARTS-style sampled run (core_sampling.cc): alternate
+     * functional fast-forward of architectural state with detailed
+     * warmup + measured intervals. The returned counters are sums
+     * over the measured intervals; the per-interval IPC mean and 95%
+     * confidence interval land in the SimResult sampling fields.
+     */
+    SimResult runSampled(const SamplingParams &sampling);
+
     /** Single-step one cycle (exposed for tests). */
     void tick();
 
@@ -174,6 +188,20 @@ class OooCore
     void trainBypass(const Inflight &inf, bool mispredicted);
     void flushAfter(InstSeq boundary_seq);
 
+    // --- run-loop / event-skip helpers (core.cc) -----------------------
+    void runUntilCommitted(std::uint64_t target,
+                           std::uint64_t cycle_bound);
+    void maybeSkip();
+    Cycle nextEventCycle();
+    static std::uint64_t livelockBound(std::uint64_t total);
+
+    // --- sampling helpers (core_sampling.cc) ---------------------------
+    /** Squash all in-flight state back to the committed boundary. */
+    void flushToCommitted();
+    /** Apply up to @p n instructions architecturally (no timing);
+     * @return the number actually applied (trace end stops early). */
+    std::uint64_t fastForwardInsts(std::uint64_t n);
+
     // --- misc helpers -------------------------------------------------------
     Inflight *findStoreBySsn(SSN ssn);
     std::uint64_t readImage(Addr addr, unsigned size,
@@ -190,6 +218,13 @@ class OooCore
 
     // --- time ---------------------------------------------------------------
     Cycle cycle = 0;
+    /** Set by any stage that did work this tick; a false value after
+     * tick() marks the cycle quiescent and skippable. */
+    bool tickWork = false;
+    /** params.eventSkip, latched at construction. */
+    bool skipEnabled = false;
+    /** Completion times published by the memory system. */
+    EventHorizon events;
 
     // --- instruction supply -------------------------------------------------
     TraceStream stream;

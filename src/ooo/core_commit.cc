@@ -10,13 +10,6 @@
 
 namespace nosq {
 
-namespace {
-
-/** Store PC table: SSN -> PC for committed stores (SPCT, [16]). */
-constexpr std::size_t spct_size = 1 << 16;
-
-} // anonymous namespace
-
 /**
  * Move completed instructions from the ROB head into the back-end
  * pipeline, in order, respecting commit width and back-end port
@@ -128,6 +121,7 @@ OooCore::doBackendEntry()
         inf.retireCycle = cycle + backendDepth();
         ++backendCount;
         ++entered;
+        tickWork = true;
     }
 }
 
@@ -197,6 +191,7 @@ OooCore::doRetire()
         Inflight &inf = rob.front();
         if (!inf.inBackend || inf.retireCycle > cycle)
             break;
+        tickWork = true;
         const DynInst &di = inf.di;
         bool flushed = false;
 

@@ -165,6 +165,7 @@ OooCore::doIssue()
         }
 
         // --- issue ------------------------------------------------------
+        tickWork = true;
         inf.issued = true;
         inf.completedFlag = true;
         --iqCount;

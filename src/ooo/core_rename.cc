@@ -32,6 +32,7 @@ OooCore::doRename()
         }
         fetchQueue.dropFront();
         ++renamed;
+        tickWork = true;
     }
 }
 

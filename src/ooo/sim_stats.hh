@@ -69,6 +69,32 @@ struct SimResult
     std::uint64_t prefUseful = 0;    // demand hits on prefetched lines
     std::uint64_t missCycles = 0;    // total L1D demand-miss latency
 
+    // --- simulator diagnostics (deliberately NOT in the
+    // --- forEachSimCounter enumeration: event skipping is a pure
+    // --- wall-clock optimization and must not perturb report bytes) --
+    /** Quiescent cycles fast-forwarded by event-driven skipping;
+     * always included in `cycles`, so IPC is unaffected. */
+    std::uint64_t skippedCycles = 0;
+
+    // --- sampled-simulation estimate (OooCore::runSampled; also not
+    // --- in forEachSimCounter -- the report emits these as additive
+    // --- optional keys only when `sampled` is set) -------------------
+    /** True when the counters are sums over measured intervals of a
+     * sampled run rather than one contiguous detailed region. */
+    bool sampled = false;
+    /** Measured intervals that contributed to the estimate. */
+    std::uint64_t sampleIntervals = 0;
+    /** Instructions functionally fast-forwarded between intervals. */
+    std::uint64_t sampleFfInsts = 0;
+    /** IPC estimate: reciprocal of the mean per-interval CPI (with
+     * fixed-length intervals, mean CPI is exactly the aggregate
+     * CPI, so this is consistent with insts/cycles). */
+    double sampleIpcMean = 0.0;
+    /** 95% confidence half-width of the IPC estimate (Student's t
+     * on the per-interval CPIs, delta-method-propagated through the
+     * reciprocal). */
+    double sampleIpcCi95 = 0.0;
+
     double
     ipc() const
     {

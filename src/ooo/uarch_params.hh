@@ -90,6 +90,18 @@ struct UarchParams
     /** SSN wraparound period (lower it to force drains in tests). */
     SSN ssnWrapPeriod = ssn_wrap_period;
 
+    /**
+     * Event-driven cycle skipping: when every pipeline stage is
+     * quiescent and the nearest wake-up is a known-future event, the
+     * clock jumps to that event instead of ticking empty cycles.
+     * Provably a pure wall-clock optimization -- every simulated
+     * statistic, including the cycle count, is bit-identical with it
+     * on or off (gated by the golden-stats test and a dedicated
+     * skip-identity property test). Off exists for A/B timing of the
+     * simulator itself (`--no-skip`, the perf harness).
+     */
+    bool eventSkip = true;
+
     /** @return the back-end depth for the configured mode. */
     unsigned
     effectiveBackendDepth() const

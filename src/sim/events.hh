@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Central next-event tracker for event-driven cycle skipping.
+ *
+ * Timing components that learn about known-future completion times
+ * (an MSHR fill's ready-at, a DRAM-bus slot release, an I-cache fill
+ * that will un-stall fetch) publish those absolute cycles here. When
+ * the core observes a fully quiescent cycle it asks for the earliest
+ * published event after "now" and fast-forwards the clock to it
+ * instead of ticking empty cycles one by one.
+ *
+ * Publishing is advisory: an event that turns out not to wake
+ * anything merely costs one no-op tick at that cycle, which is
+ * exactly what the non-skipping simulator would have executed anyway.
+ * That property is what keeps event skipping bit-identical -- the
+ * tracker may wake the core early, but the core's own wake analysis
+ * (OooCore::nextEventCycle) guarantees it is never woken late.
+ */
+
+#ifndef NOSQ_SIM_EVENTS_HH
+#define NOSQ_SIM_EVENTS_HH
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nosq {
+
+/** Min-ordered set of absolute future completion cycles. */
+class EventHorizon
+{
+  public:
+    /** Returned by nextAfter when no future event is pending. */
+    static constexpr Cycle no_event = ~Cycle(0);
+
+    /** Publish an absolute completion cycle. Duplicates are cheap
+     * and past cycles are lazily discarded. */
+    void
+    publish(Cycle when)
+    {
+        if (!heap.empty() && heap.top() == when)
+            return; // common case: many accesses complete together
+        heap.push(when);
+    }
+
+    /** Earliest published event strictly after @p now (stale
+     * entries are dropped), or no_event. */
+    Cycle
+    nextAfter(Cycle now)
+    {
+        while (!heap.empty() && heap.top() <= now)
+            heap.pop();
+        return heap.empty() ? no_event : heap.top();
+    }
+
+    void clear() { heap = Heap(); }
+    std::size_t pending() const { return heap.size(); }
+
+  private:
+    using Heap = std::priority_queue<Cycle, std::vector<Cycle>,
+                                     std::greater<Cycle>>;
+    Heap heap;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_SIM_EVENTS_HH

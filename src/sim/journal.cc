@@ -103,6 +103,10 @@ hashParams(Fnv &fnv, const UarchParams &p)
     fnv.field("mem.prefD", p.memsys.prefetchDegree);
     fnv.field("mem.prefS", p.memsys.prefetchStreams);
     fnv.field("ssnWrap", p.ssnWrapPeriod);
+    // eventSkip never changes statistics, but it is part of the
+    // params tuple and a --no-skip A/B study must not share journal
+    // records with the default configuration.
+    fnv.field("evSkip", p.eventSkip);
 }
 
 // --- one-line record (de)serialization -------------------------------------
@@ -202,7 +206,30 @@ runFromJson(const JsonValue &v, RunResult &out)
         if (field == nullptr || !asExactCounter(*field, slot))
             ok = false;
     });
-    return ok;
+    if (!ok)
+        return false;
+
+    // Sampled-run summary: optional (exact-mode records omit it),
+    // but a sampled record must restore every field or a resumed
+    // report would no longer be byte-identical. jsonNumber() emits
+    // shortest-round-trip doubles, so the parse restores the exact
+    // bit pattern.
+    const JsonValue *intervals = stats->find("sample_intervals");
+    if (intervals != nullptr) {
+        const JsonValue *ff = stats->find("sample_ff_insts");
+        const JsonValue *mean = stats->find("sample_ipc_mean");
+        const JsonValue *ci = stats->find("sample_ipc_ci95");
+        if (ff == nullptr || mean == nullptr || ci == nullptr ||
+            !asExactCounter(*intervals, out.sim.sampleIntervals) ||
+            !asExactCounter(*ff, out.sim.sampleFfInsts) ||
+            mean->kind != JsonValue::Kind::Number ||
+            ci->kind != JsonValue::Kind::Number)
+            return false;
+        out.sim.sampled = true;
+        out.sim.sampleIpcMean = mean->number;
+        out.sim.sampleIpcCi95 = ci->number;
+    }
+    return true;
 }
 
 std::string
@@ -267,6 +294,12 @@ jobFingerprint(const SweepJob &job)
     fnv.field("seed", job.seed);
     fnv.field("insts", job.insts);
     fnv.field("warmup", job.warmup);
+    fnv.field("smp.on", job.sampling.enabled);
+    fnv.field("smp.ff", job.sampling.ffLength);
+    fnv.field("smp.warm", job.sampling.warmupLength);
+    fnv.field("smp.int", job.sampling.interval);
+    fnv.field("smp.n", job.sampling.intervals);
+    fnv.field("smp.seed", job.sampling.seed);
     // The callable itself is unhashable; runnerTag is the caller's
     // stand-in identity for it (two studies with different runners
     // over identical tuples must not share a journal).

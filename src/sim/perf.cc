@@ -16,6 +16,27 @@ namespace {
 /** The reference perf workload's benchmark pair (see perf.hh). */
 const char *const perf_benchmarks[] = {"gcc", "g721.e"};
 
+/**
+ * Stall-heavy configuration for the extension rows: tiny L1D and L2
+ * in front of a slow memory, one MSHR, no prefetch. gcc lands near
+ * CPI 27 here, so almost every cycle is a quiescent wait and the
+ * event-driven skip (and sampling on top of it) is what the rows
+ * measure.
+ */
+UarchParams
+stallHeavyParams(bool event_skip)
+{
+    UarchParams params = makeParams(LsuMode::Nosq, false);
+    params.memsys.memoryLatency = 2500;
+    params.memsys.l2.sizeBytes = 32 * 1024;
+    params.memsys.l2.hitLatency = 30;
+    params.memsys.l1d.sizeBytes = 4 * 1024;
+    params.memsys.mshrs = 1;
+    params.memsys.prefetchDegree = 0;
+    params.eventSkip = event_skip;
+    return params;
+}
+
 } // anonymous namespace
 
 PerfReport
@@ -69,6 +90,61 @@ runPerfHarness(std::uint64_t insts, std::uint64_t warmup)
         ? static_cast<double>(report.totalSimInsts) /
             report.totalWallMs / 1e3
         : 0.0;
+
+    // Extension rows (kept out of the totals; see perf.hh): the
+    // event-skip A/B and a sampled run on the stall-heavy config.
+    {
+        const BenchmarkProfile *profile = findProfile("gcc");
+        nosq_assert(profile != nullptr,
+                    "perf reference benchmark missing");
+        const auto program =
+            ProgramCache::global().get(*profile, /*seed=*/1);
+        for (const bool skip : {false, true}) {
+            const auto start = clock::now();
+            OooCore core(stallHeavyParams(skip), program);
+            const SimResult sim =
+                core.run(report.insts, report.warmup);
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    clock::now() - start).count();
+            PerfRun run;
+            run.benchmark = profile->name;
+            run.config = skip ? "stall-skip" : "stall-noskip";
+            run.simInsts = sim.insts + report.warmup;
+            run.cycles = sim.cycles;
+            run.wallMs = wall_ms;
+            run.mips = wall_ms > 0.0
+                ? static_cast<double>(run.simInsts) / wall_ms / 1e3
+                : 0.0;
+            report.extraRuns.push_back(std::move(run));
+        }
+
+        SamplingParams sp;
+        sp.enabled = true;
+        sp.ffLength = 18000;
+        sp.warmupLength = 1000;
+        sp.interval = 1000;
+        sp.intervals = 100;
+        const auto start = clock::now();
+        OooCore core(stallHeavyParams(true), program);
+        const SimResult sim = core.runSampled(sp);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                clock::now() - start).count();
+        PerfRun run;
+        run.benchmark = profile->name;
+        run.config = "stall-sampled";
+        // Effective throughput: every traversed instruction
+        // (fast-forwarded + warmup + measured) per wall second.
+        run.simInsts = sim.sampleFfInsts +
+            (sp.warmupLength + sp.interval) * sim.sampleIntervals;
+        run.cycles = sim.cycles;
+        run.wallMs = wall_ms;
+        run.mips = wall_ms > 0.0
+            ? static_cast<double>(run.simInsts) / wall_ms / 1e3
+            : 0.0;
+        report.extraRuns.push_back(std::move(run));
+    }
     return report;
 }
 
@@ -89,6 +165,20 @@ perfReportJson(const PerfReport &report)
             ", \"wall_ms\": " + jsonNumber(run.wallMs) +
             ", \"mips\": " + jsonNumber(run.mips) + "}";
         out += i + 1 < report.runs.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    // Additive key: the stall-heavy event-skip / sampling rows.
+    // Excluded from "total" so trajectory deltas stay meaningful.
+    out += "  \"extra_runs\": [\n";
+    for (std::size_t i = 0; i < report.extraRuns.size(); ++i) {
+        const PerfRun &run = report.extraRuns[i];
+        out += "    {\"benchmark\": \"" + jsonEscape(run.benchmark) +
+            "\", \"config\": \"" + jsonEscape(run.config) +
+            "\", \"sim_insts\": " + std::to_string(run.simInsts) +
+            ", \"cycles\": " + std::to_string(run.cycles) +
+            ", \"wall_ms\": " + jsonNumber(run.wallMs) +
+            ", \"mips\": " + jsonNumber(run.mips) + "}";
+        out += i + 1 < report.extraRuns.size() ? ",\n" : "\n";
     }
     out += "  ],\n";
     out += "  \"total\": {\"sim_insts\": " +

@@ -56,6 +56,16 @@ struct PerfReport
     double totalWallMs = 0.0;
     /** Aggregate simulated MIPS over every run. */
     double mips = 0.0;
+    /**
+     * Extension rows, excluded from the totals so the aggregate
+     * MIPS stays comparable across the whole trajectory: the
+     * event-skip A/B (`stall-noskip` vs `stall-skip`) and the
+     * sampled run (`stall-sampled`, whose simInsts and MIPS count
+     * every traversed instruction -- fast-forwarded, warmup, and
+     * measured -- i.e. effective throughput) on a stall-heavy
+     * memory configuration where quiescent-cycle skipping pays.
+     */
+    std::vector<PerfRun> extraRuns;
 };
 
 /**

@@ -246,8 +246,20 @@ toJson(const SimResult &r, int indent)
     out += inner + "\"avg_miss_latency\": " +
         jsonNumber(r.avgMissLatency()) + ",\n";
     out += inner + "\"pref_accuracy\": " +
-        jsonNumber(r.prefetchAccuracy()) + "\n";
-    out += pad(indent) + "}";
+        jsonNumber(r.prefetchAccuracy());
+    // Sampled-simulation summary: additive, emitted only for sampled
+    // runs so exact-mode reports stay byte-identical.
+    if (r.sampled) {
+        out += ",\n" + inner + "\"sample_intervals\": " +
+            std::to_string(r.sampleIntervals);
+        out += ",\n" + inner + "\"sample_ff_insts\": " +
+            std::to_string(r.sampleFfInsts);
+        out += ",\n" + inner + "\"sample_ipc_mean\": " +
+            jsonNumber(r.sampleIpcMean);
+        out += ",\n" + inner + "\"sample_ipc_ci95\": " +
+            jsonNumber(r.sampleIpcCi95);
+    }
+    out += "\n" + pad(indent) + "}";
     return out;
 }
 
@@ -664,6 +676,12 @@ optionalStatKeys()
         k.push_back("l2_mpki");
         k.push_back("avg_miss_latency");
         k.push_back("pref_accuracy");
+        // Sampled-simulation summary (PR 6): present only on
+        // sampled runs.
+        k.push_back("sample_intervals");
+        k.push_back("sample_ff_insts");
+        k.push_back("sample_ipc_mean");
+        k.push_back("sample_ipc_ci95");
         return k;
     }();
     return keys;

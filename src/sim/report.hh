@@ -39,7 +39,9 @@
  *         "mshr_merges": ..., "mshr_stalls": ...,
  *         "pref_issued": ..., "pref_useful": ..., "miss_cycles": ...,
  *         "l1d_mpki": ..., "l2_mpki": ...,
- *         "avg_miss_latency": ..., "pref_accuracy": ...
+ *         "avg_miss_latency": ..., "pref_accuracy": ...,
+ *         "sample_intervals": ..., "sample_ff_insts": ...,  // sampled
+ *         "sample_ipc_mean": ..., "sample_ipc_ci95": ...    // runs only
  *       }
  *     }, ...
  *   ],

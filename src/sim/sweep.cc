@@ -43,6 +43,7 @@ buildJobs(const SweepSpec &spec)
             job.seed = spec.seed;
             job.insts = insts;
             job.warmup = warmup;
+            job.sampling = spec.sampling;
             jobs.push_back(std::move(job));
         }
     }
@@ -337,7 +338,9 @@ runOne(const SweepJob &job)
     // shared const across every job and worker that replays it.
     OooCore core(job.params,
                  ProgramCache::global().get(*job.profile, job.seed));
-    result.sim = core.run(job.insts, job.warmup);
+    result.sim = job.sampling.enabled
+        ? core.runSampled(job.sampling)
+        : core.run(job.insts, job.warmup);
     return result;
 }
 

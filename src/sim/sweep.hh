@@ -33,6 +33,7 @@
 
 #include "ooo/uarch_params.hh"
 #include "sim/experiment.hh"
+#include "sim/sampling.hh"
 #include "workload/profiles.hh"
 
 namespace nosq {
@@ -69,6 +70,14 @@ struct SweepJob
     std::uint64_t seed = 1;
     std::uint64_t insts = 0;
     std::uint64_t warmup = 0;
+    /**
+     * Sampled-simulation schedule (sim/sampling.hh). When enabled
+     * the default pipeline runs OooCore::runSampled() instead of
+     * run(); insts/warmup are ignored by that path (the schedule
+     * defines the simulated instruction budget). Part of the job
+     * tuple: hashed into the journal fingerprint.
+     */
+    SamplingParams sampling;
     /** Custom runner; empty runs the default pipeline. */
     SweepRunner runner;
     /**
@@ -151,6 +160,8 @@ struct SweepSpec
     std::uint64_t warmup = ~std::uint64_t(0);
     /** Workload synthesis seed shared by every job. */
     std::uint64_t seed = 1;
+    /** Sampled-simulation schedule copied into every job. */
+    SamplingParams sampling;
 };
 
 /**

@@ -119,6 +119,9 @@ class TraceStream
     /** Dynamic seq the cursor will deliver next (1-based). */
     InstSeq cursorSeq() const { return baseSeq + cursor; }
 
+    /** Highest seq marked retired (the rewind barrier). */
+    InstSeq retiredSeq() const { return retired; }
+
     FunctionalSim &functional() { return func; }
 
   private:

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Documentation drift tests. The docs under docs/ make concrete,
+ * checkable claims -- the counter glossary lists every counter, the
+ * CLI reference lists every flag, relative links resolve -- and
+ * this suite pins each claim to the code so the docs cannot rot
+ * silently. Built with NOSQ_SOURCE_DIR (the repo root) and
+ * NOSQ_SIM_PATH (the nosq_sim binary) baked in by CMake.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ooo/sim_stats.hh"
+#include "sim/report.hh"
+
+namespace nosq {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+sourcePath(const std::string &rel)
+{
+    return std::string(NOSQ_SOURCE_DIR) + "/" + rel;
+}
+
+/** Every `--flag` token in @p text (letters/digits/dashes after the
+ * leading dashes; table rules like `|----|` don't count). */
+std::set<std::string>
+extractFlags(const std::string &text)
+{
+    std::set<std::string> flags;
+    for (std::size_t i = 0; i + 2 < text.size(); ++i) {
+        if (text[i] != '-' || text[i + 1] != '-')
+            continue;
+        if (i > 0 && text[i - 1] == '-')
+            continue; // inside a ---- rule
+        std::size_t j = i + 2;
+        if (j >= text.size() || !std::islower(
+                static_cast<unsigned char>(text[j])))
+            continue;
+        while (j < text.size() &&
+               (std::islower(static_cast<unsigned char>(text[j])) ||
+                std::isdigit(static_cast<unsigned char>(text[j])) ||
+                text[j] == '-'))
+            ++j;
+        flags.insert(text.substr(i, j - i));
+        i = j;
+    }
+    return flags;
+}
+
+TEST(Docs, CounterGlossaryCoversEveryCounter)
+{
+    const std::string doc = readFile(sourcePath("docs/counters.md"));
+    SimResult dummy;
+    forEachSimCounter(dummy, [&](const char *name, std::uint64_t &) {
+        EXPECT_NE(doc.find("`" + std::string(name) + "`"),
+                  std::string::npos)
+            << "counter '" << name
+            << "' (forEachSimCounter) missing from docs/counters.md";
+    });
+    // Derived statistics and the sampled-run summary keys emitted
+    // by the report layer.
+    for (const char *key :
+         {"ipc", "l1d_mpki", "l2_mpki", "avg_miss_latency",
+          "pref_accuracy", "sample_intervals", "sample_ff_insts",
+          "sample_ipc_mean", "sample_ipc_ci95"}) {
+        EXPECT_NE(doc.find("`" + std::string(key) + "`"),
+                  std::string::npos)
+            << "derived key '" << key
+            << "' missing from docs/counters.md";
+    }
+    // The event-skip diagnostic is table-only by design; the doc
+    // must say so under its table name.
+    EXPECT_NE(doc.find("cycles skipped (events)"), std::string::npos);
+}
+
+TEST(Docs, CliReferenceMatchesHelpOutput)
+{
+    const std::string cmd = std::string(NOSQ_SIM_PATH) + " --help 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string help;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof buf, pipe)) > 0)
+        help.append(buf, n);
+    ASSERT_EQ(pclose(pipe), 0) << "--help exited nonzero";
+    ASSERT_FALSE(help.empty());
+
+    const std::set<std::string> help_flags = extractFlags(help);
+    ASSERT_FALSE(help_flags.empty());
+    const std::set<std::string> doc_flags =
+        extractFlags(readFile(sourcePath("docs/cli.md")));
+
+    // Every advertised flag is documented...
+    for (const std::string &flag : help_flags) {
+        EXPECT_TRUE(doc_flags.count(flag))
+            << "flag '" << flag
+            << "' is in --help but not docs/cli.md";
+    }
+    // ...and every documented flag exists (--help itself is the one
+    // flag the help text doesn't list).
+    for (const std::string &flag : doc_flags) {
+        EXPECT_TRUE(help_flags.count(flag) || flag == "--help")
+            << "flag '" << flag
+            << "' is in docs/cli.md but not --help";
+    }
+}
+
+TEST(Docs, MarkdownRelativeLinksResolve)
+{
+    const std::vector<std::string> files = {
+        "README.md", "ROADMAP.md", "docs/ARCHITECTURE.md",
+        "docs/counters.md", "docs/cli.md"};
+    for (const std::string &file : files) {
+        const std::string text = readFile(sourcePath(file));
+        const std::string dir =
+            file.find('/') == std::string::npos
+                ? ""
+                : file.substr(0, file.rfind('/') + 1);
+        std::size_t pos = 0;
+        while ((pos = text.find("](", pos)) != std::string::npos) {
+            pos += 2;
+            const std::size_t end = text.find(')', pos);
+            if (end == std::string::npos)
+                break;
+            std::string target = text.substr(pos, end - pos);
+            if (target.empty() || target[0] == '#' ||
+                target.find("://") != std::string::npos ||
+                target.rfind("mailto:", 0) == 0)
+                continue;
+            const std::size_t anchor = target.find('#');
+            if (anchor != std::string::npos)
+                target = target.substr(0, anchor);
+            std::ifstream probe(sourcePath(dir + target));
+            EXPECT_TRUE(probe.good())
+                << file << " links to missing file '" << target
+                << "'";
+        }
+    }
+}
+
+} // namespace
+} // namespace nosq

@@ -37,6 +37,7 @@
 #include "sim/journal.hh"
 #include "sim/perf.hh"
 #include "sim/report.hh"
+#include "sim/sampling.hh"
 #include "sim/sweep.hh"
 #include "workload/profiles.hh"
 #include "workload/program_cache.hh"
@@ -74,6 +75,23 @@ usage()
         "  --bus-occupancy       model DRAM-bus occupancy (queueing)\n"
         "                        instead of the flat transfer cost\n"
         "  --seed N              workload seed (default 1)\n"
+        "  --no-skip             disable event-driven cycle skipping\n"
+        "                        (a wall-clock optimization only;\n"
+        "                        statistics are bit-identical either\n"
+        "                        way)\n"
+        "  --sample SPEC         SMARTS-style sampled simulation:\n"
+        "                        SPEC is ff:warmup:interval:count\n"
+        "                        [:seed] in instructions. Each period\n"
+        "                        fast-forwards ff insts\n"
+        "                        architecturally, re-warms the timing\n"
+        "                        model for warmup insts, then\n"
+        "                        measures interval insts; stats are\n"
+        "                        sums over the measured intervals\n"
+        "                        plus a per-interval IPC mean and 95%%\n"
+        "                        confidence interval. seed != 0 adds\n"
+        "                        a random initial offset. Applies to\n"
+        "                        single runs and sweeps; --insts/\n"
+        "                        --warmup are ignored when sampling\n"
         "sweep mode:\n"
         "  --sweep               run a modes x windows x benchmarks\n"
         "                        cross-product in parallel\n"
@@ -224,6 +242,8 @@ struct SweepOptions
     bool prefetch_set = false;
     unsigned prefetch = 0;
     bool bus_occupancy = false;
+    bool event_skip = true;
+    SamplingParams sampling;
 };
 
 /**
@@ -294,6 +314,7 @@ runSweepMode(const SweepOptions &opt)
     spec.insts = opt.insts;
     spec.warmup = opt.warmup;
     spec.seed = opt.seed;
+    spec.sampling = opt.sampling;
 
     // Benchmark set: an explicit comma-separated list narrows the
     // suite selection.
@@ -438,6 +459,7 @@ runSweepMode(const SweepOptions &opt)
             config.tweak;
         config.tweak = [&opt, dimension](UarchParams &p) {
             p.svwFilter = opt.svw;
+            p.eventSkip = opt.event_skip;
             if (opt.history_set)
                 p.bypass.historyBits = opt.history_bits;
             if (opt.entries_set)
@@ -609,6 +631,8 @@ main(int argc, char **argv)
     unsigned mshrs = 0;
     unsigned prefetch = 0;
     bool bus_occupancy = false;
+    bool event_skip = true;
+    SamplingParams sampling;
     std::uint64_t seed = 1;
     bool sweep = false;
     bool perf = false;
@@ -695,6 +719,18 @@ main(int argc, char **argv)
             prefetch_set = true;
         } else if (arg == "--bus-occupancy") {
             bus_occupancy = true;
+        } else if (arg == "--no-skip") {
+            event_skip = false;
+        } else if (arg == "--sample" ||
+                   arg.rfind("--sample=", 0) == 0) {
+            const std::string spec =
+                arg == "--sample" ? next() : arg.substr(9);
+            std::string error;
+            if (!parseSamplingSpec(spec, sampling, error)) {
+                std::fprintf(stderr, "invalid --sample '%s': %s\n",
+                             spec.c_str(), error.c_str());
+                return 1;
+            }
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--perf") {
@@ -866,6 +902,8 @@ main(int argc, char **argv)
             sweep_opt.prefetch = prefetch;
         }
         sweep_opt.bus_occupancy = bus_occupancy;
+        sweep_opt.event_skip = event_skip;
+        sweep_opt.sampling = sampling;
         return runSweepMode(sweep_opt);
     }
 
@@ -894,6 +932,7 @@ main(int argc, char **argv)
     params.memsys.mshrs = mshrs;
     params.memsys.prefetchDegree = prefetch;
     params.memsys.busContention = bus_occupancy;
+    params.eventSkip = event_skip;
     if (!warmup_set)
         warmup = insts / 3;
 
@@ -905,7 +944,9 @@ main(int argc, char **argv)
                 bus_occupancy ? "occupancy" : "flat");
 
     OooCore core(params, ProgramCache::global().get(*profile, seed));
-    const SimResult r = core.run(insts, warmup);
+    const SimResult r = sampling.enabled
+        ? core.runSampled(sampling)
+        : core.run(insts, warmup);
 
     TextTable table;
     table.header({"statistic", "value"});
@@ -958,6 +999,14 @@ main(int argc, char **argv)
     count("prefetch useful", r.prefUseful);
     row("prefetch accuracy %",
         fmtDouble(100 * r.prefetchAccuracy(), 1));
+    count("cycles skipped (events)", r.skippedCycles);
+    if (r.sampled) {
+        count("sample intervals", r.sampleIntervals);
+        count("fast-forwarded insts", r.sampleFfInsts);
+        row("sampled IPC mean", fmtDouble(r.sampleIpcMean, 3));
+        row("sampled IPC 95% CI +/-",
+            fmtDouble(r.sampleIpcCi95, 3));
+    }
     std::fputs(table.render().c_str(), stdout);
     return 0;
 }
