@@ -162,6 +162,21 @@ Cache::probe(Addr addr) const
     return false;
 }
 
+bool
+Cache::invalidate(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * params.assoc;
+    const Addr tag = tagOf(addr);
+    for (unsigned way = 0; way < params.assoc; ++way) {
+        Line &line = lines[base + way];
+        if (line.valid && line.tag == tag) {
+            line = Line();
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 Cache::clear()
 {

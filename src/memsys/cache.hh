@@ -74,6 +74,16 @@ class Cache
     /** Hit check without changing replacement state (for tests). */
     bool probe(Addr addr) const;
 
+    /**
+     * Drop the line containing @p addr if resident (coherence
+     * invalidation from a remote core's exclusivity request). Silent
+     * with respect to counters: the data writeback, if any, is
+     * accounted by the requester's cache-to-cache transfer.
+     *
+     * @return true if a line was dropped
+     */
+    bool invalidate(Addr addr);
+
     /** Invalidate everything (SSN-wrap drain does not need this, but
      * tests and resets do). */
     void clear();

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/logging.hh"
+#include "memsys/coherence.hh"
 
 namespace nosq {
 
@@ -34,6 +35,13 @@ validateMemSysParams(const MemSysParams &params)
         throw std::invalid_argument(
             "memsys: L1 and L2 line sizes must agree (line "
             "transfers are modeled whole)");
+    if (params.cohC2cLatency == 0)
+        throw std::invalid_argument(
+            "memsys: cache-to-cache transfer latency must be "
+            "nonzero");
+    if (params.cohUpgradeLatency == 0)
+        throw std::invalid_argument(
+            "memsys: coherence upgrade latency must be nonzero");
 }
 
 MemSysStats
@@ -81,6 +89,8 @@ MemHierarchy::mergeCompletion(Mshr &m, Cycle earliest)
 Cycle
 MemHierarchy::fillFromL2(Addr addr, bool write, Cycle now)
 {
+    if (sharedL2 != nullptr)
+        return sharedL2->fill(coreId, addr, write, now);
     if (l2Cache.access(addr, write))
         return params.l2.hitLatency;
     // L2 miss: the line transfer claims a DRAM-bus slot once the
@@ -180,7 +190,12 @@ MemHierarchy::dataWrite(Addr addr, Cycle now)
         if (prefetcher.enabled() &&
             l1dCache.prefetchUseful() != pref_hits_before)
             streamEvent(line);
-        return tlb_lat + params.l1d.hitLatency;
+        Cycle lat = tlb_lat + params.l1d.hitLatency;
+        // A write hit on a line other cores share still needs
+        // exclusivity from the directory.
+        if (sharedL2 != nullptr)
+            lat += sharedL2->writeHit(coreId, addr, now);
+        return lat;
     }
     // Write misses drain through a write buffer: they consume DRAM
     // bandwidth but never hold an MSHR against demand loads.

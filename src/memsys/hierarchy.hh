@@ -31,6 +31,8 @@
 
 namespace nosq {
 
+class SharedL2;
+
 /** Two-level hierarchy timing parameters (Section 4.1). */
 struct MemSysParams
 {
@@ -58,6 +60,16 @@ struct MemSysParams
     unsigned prefetchDegree = 0;
     /** Stream table entries. */
     unsigned prefetchStreams = 8;
+
+    // --- multi-core coherence latencies (consumed by the SharedL2
+    // --- a multi-core System attaches; inert for a private
+    // --- hierarchy) -------------------------------------------------
+    /** Cache-to-cache transfer latency for lines a remote core holds
+     * Modified. */
+    Cycle cohC2cLatency = 25;
+    /** Upgrade-invalidate round latency paid to drop remote sharers
+     * before a write proceeds. */
+    Cycle cohUpgradeLatency = 12;
 };
 
 /**
@@ -183,6 +195,22 @@ class MemHierarchy
      */
     void setEventSink(EventHorizon *sink) { events = sink; }
 
+    /**
+     * Redirect the L2-and-below path to a shared L2 + coherence
+     * directory (multi-core System). The private L1s, TLBs, MSHRs,
+     * and prefetcher keep operating unchanged; only fillFromL2() and
+     * the write-hit coherence check route through @p shared as core
+     * @p core. The private l2Cache goes unused (its counters stay 0;
+     * the System reports the shared cache's instead). Null (the
+     * default) keeps the legacy private path bit-identical.
+     */
+    void
+    attachSharedL2(SharedL2 *shared, unsigned core)
+    {
+        sharedL2 = shared;
+        coreId = core;
+    }
+
     Cache &l1d() { return l1dCache; }
     Cache &l1i() { return l1iCache; }
     Cache &l2() { return l2Cache; }
@@ -217,6 +245,8 @@ class MemHierarchy
 
     MemSysParams params;
     EventHorizon *events = nullptr;
+    SharedL2 *sharedL2 = nullptr;
+    unsigned coreId = 0;
     Cache l1iCache;
     Cache l1dCache;
     Cache l2Cache;

@@ -149,6 +149,24 @@ OooCore::run(std::uint64_t max_insts, std::uint64_t warmup_insts)
 }
 
 void
+OooCore::beginInterval()
+{
+    res = SimResult();
+    intervalCycleBase = cycle;
+    intervalCommitBase = committed;
+    intervalMemBase = mem.stats();
+}
+
+SimResult
+OooCore::harvestInterval()
+{
+    res.cycles = cycle - intervalCycleBase;
+    res.insts = committed - intervalCommitBase;
+    exportMemStats(mem.stats() - intervalMemBase, res);
+    return res;
+}
+
+void
 OooCore::tick()
 {
     ++cycle;
@@ -179,7 +197,14 @@ OooCore::maybeSkip()
     if (!skipEnabled || tickWork)
         return;
     const Cycle wake = nextEventCycle();
-    if (wake == EventHorizon::no_event || wake <= cycle + 1)
+    if (wake != EventHorizon::no_event)
+        skipTo(wake);
+}
+
+void
+OooCore::skipTo(Cycle wake)
+{
+    if (wake <= cycle + 1)
         return;
     res.skippedCycles += wake - cycle - 1;
     cycle = wake - 1;

@@ -152,6 +152,46 @@ class OooCore
     /** Single-step one cycle (exposed for tests). */
     void tick();
 
+    // --- lockstep stepping (sim/system.hh drives N cores one tick
+    // --- at a time; these expose run()'s internals piecewise) --------
+    /** Reset statistics at the current instruction boundary, exactly
+     * as run() does after warmup. */
+    void beginInterval();
+    /** Close the interval opened by beginInterval(): cycle/inst
+     * deltas plus a windowed hierarchy snapshot, as run() computes
+     * at the end of a measured region. */
+    SimResult harvestInterval();
+    /** True if the tick just taken did no work (the cycle was
+     * quiescent and would have been skippable solo). */
+    bool quiescentTick() const { return !tickWork; }
+    /** Earliest cycle at which any stage could act again (valid
+     * after a quiescent tick); EventHorizon::no_event if unknown. */
+    Cycle nextWake() { return nextEventCycle(); }
+    /** Fast-forward the clock to just before @p wake (no-op when
+     * wake <= cycle + 1). The System skips all cores to the minimum
+     * wake across cores so lockstep is preserved. */
+    void skipTo(Cycle wake);
+    /** All trace instructions fetched, windowed, and retired. */
+    bool
+    drained() const
+    {
+        return traceExhausted && rob.empty() && fetchQueue.empty();
+    }
+    std::uint64_t committedInsts() const { return committed; }
+    /** Cap retirement at @p budget total committed instructions
+     * (run() sets this internally; the lockstep System sets it per
+     * phase so every core stops at an exact boundary). */
+    void setCommitBudget(std::uint64_t budget)
+    {
+        commitBudget = budget;
+    }
+    MemHierarchy &memory() { return mem; }
+    bool eventSkipOn() const { return skipEnabled; }
+
+    /** Livelock-guard cycle bound for a @p total -instruction run
+     * (saturating; shared with the multi-core System's guard). */
+    static std::uint64_t livelockBound(std::uint64_t total);
+
     const SimResult &stats() const { return res; }
     Cycle now() const { return cycle; }
 
@@ -193,7 +233,6 @@ class OooCore
                            std::uint64_t cycle_bound);
     void maybeSkip();
     Cycle nextEventCycle();
-    static std::uint64_t livelockBound(std::uint64_t total);
 
     // --- sampling helpers (core_sampling.cc) ---------------------------
     /** Squash all in-flight state back to the committed boundary. */
@@ -295,6 +334,11 @@ class OooCore
     SimResult res;
     std::uint64_t committed = 0;
     std::uint64_t commitBudget = ~std::uint64_t(0);
+
+    // --- lockstep-interval bookkeeping (beginInterval/harvestInterval)
+    Cycle intervalCycleBase = 0;
+    std::uint64_t intervalCommitBase = 0;
+    MemSysStats intervalMemBase;
 };
 
 } // namespace nosq

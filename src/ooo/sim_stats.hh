@@ -7,6 +7,7 @@
 #define NOSQ_OOO_SIM_STATS_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -94,6 +95,34 @@ struct SimResult
      * on the per-interval CPIs, delta-method-propagated through the
      * reciprocal). */
     double sampleIpcCi95 = 0.0;
+
+    // --- multi-core run (sim/system.hh; also not in
+    // --- forEachSimCounter -- the report emits these as additive
+    // --- optional keys only when `multicore` is set, so single-core
+    // --- reports stay byte-identical) --------------------------------
+    /** True when the counters are lockstep-aggregated over an N-core
+     * System rather than one private core. */
+    bool multicore = false;
+    /** Cores in the System (0 for single-core runs). */
+    std::uint64_t numCores = 0;
+    /** Remote private-L1 copies dropped by exclusivity requests. */
+    std::uint64_t cohInvalidations = 0;
+    /** Misses served by a remote core's Modified line. */
+    std::uint64_t cohC2cTransfers = 0;
+    /** Writes that hit a locally Shared line and paid an
+     * upgrade-invalidate round. */
+    std::uint64_t cohUpgradeMisses = 0;
+    /** Per-core breakdown (cycles are lockstep-identical across
+     * cores; the rest differ). */
+    struct PerCore
+    {
+        std::uint64_t cycles = 0;
+        std::uint64_t insts = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t bypassedLoads = 0;
+    };
+    std::vector<PerCore> perCore;
 
     double
     ipc() const

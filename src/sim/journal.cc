@@ -102,6 +102,8 @@ hashParams(Fnv &fnv, const UarchParams &p)
     fnv.field("mem.busOcc", p.memsys.busContention);
     fnv.field("mem.prefD", p.memsys.prefetchDegree);
     fnv.field("mem.prefS", p.memsys.prefetchStreams);
+    fnv.field("mem.cohC2c", p.memsys.cohC2cLatency);
+    fnv.field("mem.cohUpg", p.memsys.cohUpgradeLatency);
     fnv.field("ssnWrap", p.ssnWrapPeriod);
     // eventSkip never changes statistics, but it is part of the
     // params tuple and a --no-skip A/B study must not share journal
@@ -229,6 +231,45 @@ runFromJson(const JsonValue &v, RunResult &out)
         out.sim.sampleIpcMean = mean->number;
         out.sim.sampleIpcCi95 = ci->number;
     }
+
+    // Multicore summary: optional (single-core records omit it),
+    // but a multicore record must restore the core count, every
+    // coherence counter, and every per-core row, or a resumed
+    // report would no longer be byte-identical.
+    const JsonValue *cores = stats->find("cores");
+    if (cores != nullptr) {
+        std::uint64_t n = 0;
+        if (!asExactCounter(*cores, n) || n == 0)
+            return false;
+        out.sim.multicore = true;
+        out.sim.numCores = n;
+        bool coh_ok = true;
+        forEachCoherenceCounter(
+            out.sim, [&](const char *key, std::uint64_t &slot) {
+                const JsonValue *field = stats->find(key);
+                if (field == nullptr ||
+                    !asExactCounter(*field, slot))
+                    coh_ok = false;
+            });
+        if (!coh_ok)
+            return false;
+        out.sim.perCore.assign(static_cast<std::size_t>(n), {});
+        for (std::size_t i = 0; i < out.sim.perCore.size(); ++i) {
+            const std::string prefix =
+                "core" + std::to_string(i) + "_";
+            forEachPerCoreCounter(
+                out.sim.perCore[i],
+                [&](const char *key, std::uint64_t &slot) {
+                    const JsonValue *field =
+                        stats->find(prefix + key);
+                    if (field == nullptr ||
+                        !asExactCounter(*field, slot))
+                        coh_ok = false;
+                });
+        }
+        if (!coh_ok)
+            return false;
+    }
     return true;
 }
 
@@ -294,6 +335,8 @@ jobFingerprint(const SweepJob &job)
     fnv.field("seed", job.seed);
     fnv.field("insts", job.insts);
     fnv.field("warmup", job.warmup);
+    fnv.field("cores", job.cores);
+    fnv.field("qdepth", job.queueDepth);
     fnv.field("smp.on", job.sampling.enabled);
     fnv.field("smp.ff", job.sampling.ffLength);
     fnv.field("smp.warm", job.sampling.warmupLength);

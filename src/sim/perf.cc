@@ -6,6 +6,8 @@
 #include "ooo/core.hh"
 #include "sim/report.hh"
 #include "sim/sweep.hh"
+#include "sim/system.hh"
+#include "workload/multicore.hh"
 #include "workload/profiles.hh"
 #include "workload/program_cache.hh"
 
@@ -138,6 +140,33 @@ runPerfHarness(std::uint64_t insts, std::uint64_t warmup)
         // (fast-forwarded + warmup + measured) per wall second.
         run.simInsts = sim.sampleFfInsts +
             (sp.warmupLength + sp.interval) * sim.sampleIntervals;
+        run.cycles = sim.cycles;
+        run.wallMs = wall_ms;
+        run.mips = wall_ms > 0.0
+            ? static_cast<double>(run.simInsts) / wall_ms / 1e3
+            : 0.0;
+        report.extraRuns.push_back(std::move(run));
+    }
+
+    // Multi-core extension row: a 2-core spsc-ring System under
+    // NoSQ, so the lockstep + coherence overhead per simulated
+    // instruction is tracked alongside the single-core trajectory.
+    {
+        const auto start = clock::now();
+        System system(makeParams(LsuMode::Nosq, false),
+                      buildMulticorePrograms(
+                          "spsc-ring", 2, default_queue_depth,
+                          /*seed=*/1));
+        const SimResult sim =
+            system.run(report.insts, report.warmup);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                clock::now() - start).count();
+        PerfRun run;
+        run.benchmark = "spsc-ring";
+        run.config = "multicore-spsc";
+        // Both cores simulate the full budget each.
+        run.simInsts = sim.insts + 2 * report.warmup;
         run.cycles = sim.cycles;
         run.wallMs = wall_ms;
         run.mips = wall_ms > 0.0

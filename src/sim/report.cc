@@ -259,6 +259,27 @@ toJson(const SimResult &r, int indent)
         out += ",\n" + inner + "\"sample_ipc_ci95\": " +
             jsonNumber(r.sampleIpcCi95);
     }
+    // Multicore summary: additive, emitted only for System runs so
+    // --cores=1 reports stay byte-identical.
+    if (r.multicore) {
+        out += ",\n" + inner + "\"cores\": " +
+            std::to_string(r.numCores);
+        forEachCoherenceCounter(
+            r, [&](const char *key, const std::uint64_t &value) {
+                out += ",\n" + inner + '"' + key +
+                    "\": " + std::to_string(value);
+            });
+        for (std::size_t i = 0; i < r.perCore.size(); ++i) {
+            const std::string prefix =
+                "core" + std::to_string(i) + "_";
+            forEachPerCoreCounter(
+                r.perCore[i],
+                [&](const char *key, const std::uint64_t &value) {
+                    out += ",\n" + inner + '"' + prefix + key +
+                        "\": " + std::to_string(value);
+                });
+        }
+    }
     out += "\n" + pad(indent) + "}";
     return out;
 }
@@ -682,6 +703,16 @@ optionalStatKeys()
         k.push_back("sample_ff_insts");
         k.push_back("sample_ipc_mean");
         k.push_back("sample_ipc_ci95");
+        // Multicore summary (PR 7): present only on System runs.
+        // The dynamic per-core "core<i>_*" keys are accepted as
+        // unlisted extras (unknown stats keys are never rejected).
+        k.push_back("cores");
+        SimResult coh_dummy;
+        forEachCoherenceCounter(coh_dummy,
+                                [&](const char *key,
+                                    std::uint64_t &) {
+                                    k.push_back(key);
+                                });
         return k;
     }();
     return keys;

@@ -187,6 +187,41 @@ forEachSimCounter(SimResultT &r, Fn &&fn)
 }
 
 /**
+ * Visit the coherence counters of a multicore SimResult, in emission
+ * order: fn(key, member). Same single-source-of-truth contract as
+ * forEachSimCounter, but for the additive-optional keys emitted only
+ * when r.multicore is set -- the emitter, the validator's optional
+ * list, the journal loader, and the docs drift gate all iterate it.
+ * (Deliberately NOT folded into forEachSimCounter: that would emit
+ * the keys on every single-core run and break the --cores=1
+ * byte-identity guarantee.)
+ */
+template <typename SimResultT, typename Fn>
+void
+forEachCoherenceCounter(SimResultT &r, Fn &&fn)
+{
+    fn("coh_invalidations", r.cohInvalidations);
+    fn("coh_c2c_transfers", r.cohC2cTransfers);
+    fn("coh_upgrade_misses", r.cohUpgradeMisses);
+}
+
+/**
+ * Visit the counters of one per-core breakdown entry, in emission
+ * order: fn(key, member). Emitted (and journaled, and documented) as
+ * "core<i>_<key>".
+ */
+template <typename PerCoreT, typename Fn>
+void
+forEachPerCoreCounter(PerCoreT &c, Fn &&fn)
+{
+    fn("cycles", c.cycles);
+    fn("insts", c.insts);
+    fn("loads", c.loads);
+    fn("stores", c.stores);
+    fn("bypassed_loads", c.bypassedLoads);
+}
+
+/**
  * Write @p contents to @p path, failing loudly on any short write
  * (full disk, quota): a truncated report would poison trajectory
  * tooling. On failure, prints a message to stderr naming @p path.

@@ -8,6 +8,8 @@
 #include "common/logging.hh"
 #include "ooo/core.hh"
 #include "sim/journal.hh"
+#include "sim/system.hh"
+#include "workload/multicore.hh"
 #include "workload/program_cache.hh"
 
 namespace nosq {
@@ -43,6 +45,8 @@ buildJobs(const SweepSpec &spec)
             job.seed = spec.seed;
             job.insts = insts;
             job.warmup = warmup;
+            job.cores = config.cores;
+            job.queueDepth = config.queueDepth;
             job.sampling = spec.sampling;
             jobs.push_back(std::move(job));
         }
@@ -175,6 +179,66 @@ memsysConfigs()
 {
     return memsysConfigs({256 * 1024, 1024 * 1024}, {10, 20},
                          {2, 8}, /*with_prefetch=*/true);
+}
+
+std::vector<SweepConfig>
+multicoreConfigs(const std::vector<unsigned> &core_counts,
+                 const std::vector<unsigned> &queue_depths)
+{
+    std::vector<SweepConfig> configs;
+    configs.reserve(core_counts.size() * queue_depths.size() * 2);
+    for (const unsigned cores : core_counts) {
+        for (const unsigned depth : queue_depths) {
+            const std::string label = "c" + std::to_string(cores) +
+                "-d" + std::to_string(depth);
+            for (const LsuMode mode :
+                 {LsuMode::SqStoreSets, LsuMode::Nosq}) {
+                SweepConfig config;
+                config.mode = mode;
+                config.cores = cores;
+                config.queueDepth = depth;
+                config.name =
+                    (mode == LsuMode::Nosq ? "nosq/" : "sq/") +
+                    label;
+                configs.push_back(std::move(config));
+            }
+        }
+    }
+    return configs;
+}
+
+std::vector<SweepConfig>
+multicoreConfigs()
+{
+    return multicoreConfigs({2, 4}, {8, 64});
+}
+
+std::vector<SweepJob>
+buildMulticoreJobs(const std::vector<std::string> &kernels,
+                   const std::vector<SweepConfig> &configs,
+                   std::uint64_t insts, std::uint64_t warmup,
+                   std::uint64_t seed)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(kernels.size() * configs.size());
+    for (const std::string &kernel : kernels) {
+        nosq_assert(isMulticoreWorkload(kernel),
+                    "unknown multicore kernel in sweep spec");
+        for (const SweepConfig &config : configs) {
+            SweepJob job;
+            job.params = config.materialize();
+            job.config = config.name;
+            job.benchmark = kernel;
+            job.suite = Suite::Int;
+            job.seed = seed;
+            job.insts = insts;
+            job.warmup = warmup;
+            job.cores = config.cores;
+            job.queueDepth = config.queueDepth;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
 }
 
 std::vector<SweepConfig>
@@ -330,6 +394,31 @@ runOne(const SweepJob &job)
     result.memsys = job.memsysLabel;
     if (job.runner) {
         result.sim = job.runner(job);
+        return result;
+    }
+    if (job.cores > 1) {
+        // Multi-core jobs build an N-core System around a shared
+        // coherent L2. A profile replicates homogeneously (per-core
+        // seed + i so the programs differ); a profile-less job names
+        // a producer-consumer kernel from workload/multicore.hh.
+        nosq_assert(!job.sampling.enabled,
+                    "sampled simulation is single-core only");
+        std::vector<std::shared_ptr<const Program>> programs;
+        if (job.profile != nullptr) {
+            programs.reserve(job.cores);
+            for (unsigned i = 0; i < job.cores; ++i) {
+                programs.push_back(ProgramCache::global().get(
+                    *job.profile, job.seed + i));
+            }
+        } else {
+            programs = buildMulticorePrograms(
+                job.benchmark, job.cores,
+                job.queueDepth ? job.queueDepth
+                               : default_queue_depth,
+                job.seed);
+        }
+        System system(job.params, std::move(programs));
+        result.sim = system.run(job.insts, job.warmup);
         return result;
     }
     nosq_assert(job.profile != nullptr,

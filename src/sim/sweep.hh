@@ -71,6 +71,22 @@ struct SweepJob
     std::uint64_t insts = 0;
     std::uint64_t warmup = 0;
     /**
+     * Core count. 1 runs the classic single-OooCore pipeline
+     * (bit-identical to pre-multicore sweeps); > 1 constructs a
+     * System (sim/system.hh) with a shared coherent L2. Profile jobs
+     * replicate the benchmark homogeneously (per-core seed + i);
+     * profile-less jobs treat @c benchmark as a multicore kernel
+     * name (workload/multicore.hh). Part of the job tuple: hashed
+     * into the journal fingerprint.
+     */
+    unsigned cores = 1;
+    /**
+     * Queue depth (slots) for multicore kernel workloads; 0 uses the
+     * kernel default. Ignored for single-core and profile jobs, but
+     * always hashed into the journal fingerprint.
+     */
+    unsigned queueDepth = 0;
+    /**
      * Sampled-simulation schedule (sim/sampling.hh). When enabled
      * the default pipeline runs OooCore::runSampled() instead of
      * run(); insts/warmup are ignored by that path (the schedule
@@ -144,6 +160,10 @@ struct SweepConfig
     bool nosqDelay = true;
     /** Hierarchy point label (memsysConfigs()); usually empty. */
     std::string memsys;
+    /** Core count copied into every job built from this config. */
+    unsigned cores = 1;
+    /** Multicore kernel queue depth (0: kernel default). */
+    unsigned queueDepth = 0;
     std::function<void(UarchParams &)> tweak;
 
     UarchParams materialize() const;
@@ -234,6 +254,36 @@ std::vector<SweepConfig> memsysConfigs(
  * points, 32 configurations.
  */
 std::vector<SweepConfig> memsysConfigs();
+
+/**
+ * Multi-core scaling dimension (`--sweep=multicore`): the cross
+ * product of core count x queue depth, each point run under BOTH the
+ * associative-SQ baseline and NoSQ-with-delay so the cross-core
+ * store-load forwarding gap is directly comparable. Config names are
+ * "sq/c<cores>-d<depth>" and "nosq/c<cores>-d<depth>", point-major
+ * with the SQ run first (the reduction baseline).
+ */
+std::vector<SweepConfig> multicoreConfigs(
+    const std::vector<unsigned> &core_counts,
+    const std::vector<unsigned> &queue_depths);
+
+/**
+ * The default `--sweep=multicore` grid: cores {2, 4} x queue depth
+ * {8, 64} = 4 points, 8 configurations.
+ */
+std::vector<SweepConfig> multicoreConfigs();
+
+/**
+ * Expand multicore kernel names x configs into a job list,
+ * kernel-major (mirrors buildJobs()). Each job carries the kernel
+ * name in SweepJob::benchmark with profile == nullptr and
+ * suite == Suite::Int; runOne() builds the per-core programs with
+ * buildMulticorePrograms() and runs a System.
+ */
+std::vector<SweepJob> buildMulticoreJobs(
+    const std::vector<std::string> &kernels,
+    const std::vector<SweepConfig> &configs, std::uint64_t insts,
+    std::uint64_t warmup, std::uint64_t seed);
 
 /**
  * Figure 5 (top) dimension: NoSQ configurations sweeping total

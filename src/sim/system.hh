@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The N-core System: private cores + hierarchies over one shared L2.
+ *
+ * Composition: each core is a full OooCore owning its private
+ * MemHierarchy (L1s, TLBs, MSHRs, prefetcher) and its own functional
+ * program image; every hierarchy's L2-and-below path is redirected to
+ * one SharedL2 (memsys/coherence.hh) whose MESI directory arbitrates
+ * cross-core sharing -- cache-to-cache transfers for remote-Modified
+ * lines, upgrade-invalidate rounds for writes to shared lines.
+ *
+ * Time: cores tick in lockstep (core 0 first each cycle, so
+ * directory transitions are deterministic). Event-driven skipping
+ * still works: when EVERY core's tick was quiescent, the clock
+ * fast-forwards to the minimum next-wake across cores, keeping all
+ * core clocks equal. Each core keeps its own EventHorizon sink, fed
+ * by its private hierarchy as before.
+ *
+ * Statistics: run() mirrors OooCore::run()'s warmup contract at
+ * system scope -- after every core has committed its warmup budget,
+ * per-core interval measurement restarts at the same global cycle.
+ * The returned SimResult aggregates all cores' counters, overrides
+ * the L2 rows with the shared cache's (the private l2Cache objects
+ * sit unused behind the redirect), and carries the multicore
+ * extensions: core count, coherence counters, and a per-core
+ * breakdown.
+ */
+
+#ifndef NOSQ_SIM_SYSTEM_HH
+#define NOSQ_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "memsys/coherence.hh"
+#include "ooo/core.hh"
+#include "ooo/sim_stats.hh"
+#include "ooo/uarch_params.hh"
+#include "workload/functional.hh"
+
+namespace nosq {
+
+/** An N-core machine sharing one L2 behind a MESI directory. */
+class System
+{
+  public:
+    /**
+     * One core per entry of @p programs, all configured by
+     * @p params (the per-core private levels come from
+     * params.memsys; so do the shared L2 geometry and the coherence
+     * latencies).
+     *
+     * @throws std::invalid_argument unless
+     *         1 <= programs.size() <= max_cores (or on bad params)
+     */
+    System(const UarchParams &params,
+           std::vector<std::shared_ptr<const Program>> programs);
+
+    /**
+     * Run until every core has committed @p max_insts instructions
+     * (or drained its trace) and return the aggregate statistics.
+     *
+     * @param warmup_insts per-core warmup budget: statistics restart
+     *        once every core has committed this many (same contract
+     *        as OooCore::run, at system scope)
+     */
+    SimResult run(std::uint64_t max_insts,
+                  std::uint64_t warmup_insts = 0);
+
+    unsigned numCores() const { return unsigned(cores.size()); }
+    OooCore &core(unsigned i) { return *cores.at(i); }
+    SharedL2 &sharedL2() { return shared; }
+
+  private:
+    /** Lockstep-tick (and collectively skip) until every core has
+     * committed @p target instructions or drained. */
+    void lockstepUntil(std::uint64_t target, std::uint64_t bound);
+
+    UarchParams params;
+    SharedL2 shared;
+    std::vector<std::unique_ptr<OooCore>> cores;
+};
+
+} // namespace nosq
+
+#endif // NOSQ_SIM_SYSTEM_HH

@@ -1,0 +1,247 @@
+#include "workload/multicore.hh"
+
+#include <stdexcept>
+
+#include "common/rng.hh"
+#include "memsys/coherence.hh"
+
+namespace nosq {
+
+namespace {
+
+// Register conventions shared by all kernels (persistent state lives
+// above r32; r4-r7 are loop temporaries).
+constexpr RegIndex r_cnt = 32;     // iteration counter
+constexpr RegIndex r_base = 33;    // shared-region base
+constexpr RegIndex r_mask = 34;    // queue_depth - 1
+constexpr RegIndex r_acc = 35;     // value accumulator
+constexpr RegIndex r_scratch = 36; // private scratch base
+constexpr RegIndex r_fill = 37;    // filler-op sink
+constexpr RegIndex t0 = 4, t1 = 5, t2 = 6, t3 = 7;
+
+/** Private per-core scratch (outside the shared window, so the
+ * per-core physical tagging keeps it core-local). */
+constexpr Addr scratch_base = 0x0010'0000;
+
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Seed-varied filler ALU ops: perturb the loop length so different
+ * seeds exercise different store-load timings. */
+void
+emitFiller(ProgramBuilder &b, Rng &rng)
+{
+    const unsigned n = unsigned(rng.below(3));
+    for (unsigned i = 0; i < n; ++i)
+        b.addi(r_fill, r_fill, std::int64_t(1 + rng.below(7)));
+}
+
+/** The intra-core bypass pair: store the accumulator to private
+ * scratch, load it straight back, and fold it in. This is the
+ * store-load forwarding NoSQ wins on, kept alongside the cross-core
+ * traffic so both paths are measured in one kernel. */
+void
+emitLocalForward(ProgramBuilder &b)
+{
+    b.st8(r_scratch, 0, r_acc);
+    b.ld8(t3, r_scratch, 0);
+    b.add(r_acc, r_acc, t3);
+}
+
+/** Shared preamble: constants + seed-varied initial values. */
+void
+emitPreamble(ProgramBuilder &b, Addr region, unsigned depth,
+             Rng &rng)
+{
+    b.li(r_cnt, 0);
+    b.li(r_base, std::int64_t(region));
+    b.li(r_mask, std::int64_t(depth - 1));
+    b.li(r_acc, std::int64_t(rng.below(1000)));
+    b.li(r_scratch, std::int64_t(scratch_base));
+    b.li(r_fill, 0);
+}
+
+/** t0 <- region + (r_cnt & r_mask) * 8 (the current slot). */
+void
+emitSlotAddr(ProgramBuilder &b)
+{
+    b.and_(t0, r_cnt, r_mask);
+    b.slli(t0, t0, 3);
+    b.add(t0, r_base, t0);
+}
+
+// --- spsc-ring -------------------------------------------------------
+//
+// Per-pair layout (pair p at shared_window_base + p * 0x10000):
+//   [0, depth*8)        ring slots (depth is a power of two >= 8, so
+//                       the slot block is line-aligned)
+//   [depth*8 + 64]      head word (producer-published), own line
+//   [depth*8 + 128]     tail word (consumer-published), own line
+
+std::shared_ptr<const Program>
+buildSpscProducer(Addr region, unsigned depth, Rng &rng)
+{
+    const std::int64_t head_ofs = std::int64_t(depth) * 8 + 64;
+    const std::int64_t tail_ofs = head_ofs + 64;
+    ProgramBuilder b;
+    emitPreamble(b, region, depth, rng);
+    b.label("loop");
+    emitFiller(b, rng);
+    emitSlotAddr(b);
+    b.addi(r_acc, r_acc, 3);
+    b.st8(t0, 0, r_acc);            // write the slot
+    b.st8(r_base, head_ofs, r_cnt); // publish head
+    b.ld8(t1, r_base, tail_ofs);    // read consumer progress
+    b.xor_(r_acc, r_acc, t1);
+    emitLocalForward(b);
+    b.addi(r_cnt, r_cnt, 1);
+    b.jmp("loop");
+    return std::make_shared<const Program>(b.build());
+}
+
+std::shared_ptr<const Program>
+buildSpscConsumer(Addr region, unsigned depth, Rng &rng)
+{
+    const std::int64_t head_ofs = std::int64_t(depth) * 8 + 64;
+    const std::int64_t tail_ofs = head_ofs + 64;
+    ProgramBuilder b;
+    emitPreamble(b, region, depth, rng);
+    b.label("loop");
+    emitFiller(b, rng);
+    b.ld8(t1, r_base, head_ofs);    // read head (never branched on)
+    emitSlotAddr(b);
+    b.ld8(t2, t0, 0);               // read the slot
+    b.add(r_acc, r_acc, t2);
+    b.xor_(r_acc, r_acc, t1);
+    b.st8(r_base, tail_ofs, r_cnt); // publish tail
+    emitLocalForward(b);
+    b.addi(r_cnt, r_cnt, 1);
+    b.jmp("loop");
+    return std::make_shared<const Program>(b.build());
+}
+
+// --- mpsc-queue ------------------------------------------------------
+//
+// One region for all cores (at shared_window_base):
+//   [0]             shared head word, all producers RMW it
+//   [64, 64+depth*8) slots, producers store round-robin
+//   [0xA000]        consumer tail word (past any slot block)
+
+constexpr std::int64_t mpsc_slot_ofs = 64;
+constexpr std::int64_t mpsc_tail_ofs = 0xA000;
+
+std::shared_ptr<const Program>
+buildMpscProducer(Addr region, unsigned depth, Rng &rng)
+{
+    ProgramBuilder b;
+    emitPreamble(b, region, depth, rng);
+    b.label("loop");
+    emitFiller(b, rng);
+    b.ld8(t1, r_base, 0);           // read shared head...
+    b.addi(t1, t1, 1);
+    b.st8(r_base, 0, t1);           // ...and RMW it (ownership storm)
+    emitSlotAddr(b);
+    b.addi(r_acc, r_acc, 5);
+    b.st8(t0, mpsc_slot_ofs, r_acc); // write the slot
+    emitLocalForward(b);
+    b.addi(r_cnt, r_cnt, 1);
+    b.jmp("loop");
+    return std::make_shared<const Program>(b.build());
+}
+
+std::shared_ptr<const Program>
+buildMpscConsumer(Addr region, unsigned depth, Rng &rng)
+{
+    ProgramBuilder b;
+    emitPreamble(b, region, depth, rng);
+    b.label("loop");
+    emitFiller(b, rng);
+    b.ld8(t1, r_base, 0);           // read the contended head
+    emitSlotAddr(b);
+    b.ld8(t2, t0, mpsc_slot_ofs);   // read the slot
+    b.add(r_acc, r_acc, t2);
+    b.xor_(r_acc, r_acc, t1);
+    b.st8(r_base, mpsc_tail_ofs, r_cnt); // publish tail
+    emitLocalForward(b);
+    b.addi(r_cnt, r_cnt, 1);
+    b.jmp("loop");
+    return std::make_shared<const Program>(b.build());
+}
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+multicoreWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "spsc-ring",
+        "mpsc-queue",
+    };
+    return names;
+}
+
+bool
+isMulticoreWorkload(const std::string &name)
+{
+    for (const std::string &n : multicoreWorkloads()) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::shared_ptr<const Program>>
+buildMulticorePrograms(const std::string &name, unsigned cores,
+                       unsigned queue_depth, std::uint64_t seed)
+{
+    if (!isMulticoreWorkload(name)) {
+        throw std::invalid_argument(
+            "unknown multicore kernel '" + name + "'");
+    }
+    if (cores < 2 || cores > max_cores) {
+        throw std::invalid_argument(
+            name + ": core count must be in [2, " +
+            std::to_string(max_cores) + "], got " +
+            std::to_string(cores));
+    }
+    if (name == "spsc-ring" && cores % 2 != 0) {
+        throw std::invalid_argument(
+            "spsc-ring: core count must be even (producer/consumer "
+            "pairs), got " + std::to_string(cores));
+    }
+    if (queue_depth < 8 || queue_depth > 4096 ||
+        !isPowerOfTwo(queue_depth)) {
+        throw std::invalid_argument(
+            name + ": queue depth must be a power of two in "
+            "[8, 4096], got " + std::to_string(queue_depth));
+    }
+
+    std::vector<std::shared_ptr<const Program>> programs;
+    programs.reserve(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+        // Per-core stream so a core's program depends only on
+        // (kernel, its role, depth, seed), not on the core count.
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL + c + 1);
+        if (name == "spsc-ring") {
+            const Addr region =
+                shared_window_base + Addr(c / 2) * 0x10000;
+            programs.push_back(
+                c % 2 == 0 ? buildSpscProducer(region, queue_depth,
+                                               rng)
+                           : buildSpscConsumer(region, queue_depth,
+                                               rng));
+        } else {
+            const Addr region = shared_window_base;
+            programs.push_back(
+                c + 1 < cores
+                    ? buildMpscProducer(region, queue_depth, rng)
+                    : buildMpscConsumer(region, queue_depth, rng));
+        }
+    }
+    return programs;
+}
+
+} // namespace nosq

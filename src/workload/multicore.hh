@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Producer-consumer queue kernels for the multi-core System.
+ *
+ * These are the cross-core analogue of the store-load forwarding the
+ * paper studies inside one window: stores a producer core commits are
+ * loaded by a consumer core, so the communication path runs through
+ * the shared-L2 coherence machinery (memsys/coherence.hh) instead of
+ * the store queue / bypass predictor. Each kernel also keeps an
+ * intra-core store -> load-back pair in its loop so NoSQ's bypassing
+ * still has local work to win on.
+ *
+ * Two kernels:
+ *  - "spsc-ring": cores pair up (even producer, odd consumer) over a
+ *    per-pair single-producer/single-consumer ring in the shared
+ *    window -- slot stores + a head-publish store on the producer,
+ *    head + slot loads and a tail-publish store on the consumer, with
+ *    head, tail, and slots on separate cache lines so sharing is
+ *    true sharing.
+ *  - "mpsc-queue": cores 0..N-2 all read-modify-write ONE shared head
+ *    word and store slots into one shared region while core N-1
+ *    consumes -- the invalidation/ownership-migration stress case.
+ *
+ * Functional-consistency rule: each core executes against its own
+ * functional memory image (sharing is timing-only), so a consumer
+ * NEVER branches on a loaded shared value -- it would spin on data
+ * the producer's image never shows it. Every loop advances
+ * unconditionally; loaded values only feed arithmetic.
+ */
+
+#ifndef NOSQ_WORKLOAD_MULTICORE_HH
+#define NOSQ_WORKLOAD_MULTICORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace nosq {
+
+/** Queue depth used when the caller leaves it unspecified (0). */
+inline constexpr unsigned default_queue_depth = 16;
+
+/** The multicore kernel names, in canonical sweep order. */
+const std::vector<std::string> &multicoreWorkloads();
+
+/** @return true if @p name names a multicore queue kernel. */
+bool isMulticoreWorkload(const std::string &name);
+
+/**
+ * Build the per-core programs for kernel @p name.
+ *
+ * @param cores   core count: "spsc-ring" needs an even count >= 2,
+ *                "mpsc-queue" any count >= 2
+ * @param queue_depth ring slots: a power of two in [8, 4096]
+ * @param seed    varies initial values and filler-op mix
+ * @throws std::invalid_argument on an unknown kernel or a
+ *         constraint violation, naming the problem
+ */
+std::vector<std::shared_ptr<const Program>>
+buildMulticorePrograms(const std::string &name, unsigned cores,
+                       unsigned queue_depth, std::uint64_t seed);
+
+} // namespace nosq
+
+#endif // NOSQ_WORKLOAD_MULTICORE_HH

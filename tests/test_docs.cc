@@ -90,6 +90,26 @@ TEST(Docs, CounterGlossaryCoversEveryCounter)
     // The event-skip diagnostic is table-only by design; the doc
     // must say so under its table name.
     EXPECT_NE(doc.find("cycles skipped (events)"), std::string::npos);
+    // Multicore additive-optional keys: the coherence counters come
+    // from their own single-source-of-truth list, plus the per-run
+    // core count and the per-core breakdown key pattern.
+    forEachCoherenceCounter(dummy, [&](const char *name,
+                                       std::uint64_t &) {
+        EXPECT_NE(doc.find("`" + std::string(name) + "`"),
+                  std::string::npos)
+            << "counter '" << name << "' (forEachCoherenceCounter) "
+            << "missing from docs/counters.md";
+    });
+    SimResult::PerCore pc_dummy;
+    forEachPerCoreCounter(pc_dummy, [&](const char *name,
+                                        std::uint64_t &) {
+        EXPECT_NE(doc.find("`core<i>_" + std::string(name) + "`"),
+                  std::string::npos)
+            << "per-core counter 'core<i>_" << name
+            << "' missing from docs/counters.md";
+    });
+    EXPECT_NE(doc.find("`cores`"), std::string::npos)
+        << "multicore 'cores' key missing from docs/counters.md";
 }
 
 TEST(Docs, CliReferenceMatchesHelpOutput)

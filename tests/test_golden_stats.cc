@@ -35,7 +35,9 @@
 
 #include "ooo/core.hh"
 #include "sim/report.hh"
+#include "sim/system.hh"
 #include "workload/generator.hh"
+#include "workload/multicore.hh"
 #include "workload/profiles.hh"
 
 namespace nosq {
@@ -280,6 +282,98 @@ TEST(GoldenStats, MemsysPathSeparatesLsuModes)
     const auto &nosq = memsys_golden_rows[1];
     EXPECT_NE(sq.counters[0], nosq.counters[0]);   // cycles
     EXPECT_NE(sq.counters[13], nosq.counters[13]); // core dcache reads
+}
+
+// --- multi-core coherence timing path ---------------------------------------
+
+/**
+ * A 2-core "spsc-ring" producer-consumer System (queue depth 8,
+ * seed 1) pinned under both LSU modes: aggregate counters by NAME
+ * (so future counter additions cannot break the rows), the
+ * coherence counters, and the per-core breakdown. Captured at PR 7;
+ * regenerate (and say so) only when coherence or multicore timing
+ * changes on purpose.
+ */
+struct MulticoreGoldenRow
+{
+    LsuMode mode;
+    /** (report key, value) pairs checked against counterMap(). */
+    std::vector<std::pair<const char *, std::uint64_t>> aggregate;
+    std::uint64_t cohInvalidations;
+    std::uint64_t cohC2cTransfers;
+    std::uint64_t cohUpgradeMisses;
+    /** Per core: cycles, insts, loads, stores, bypassed loads. */
+    std::array<std::array<std::uint64_t, 5>, 2> perCore;
+};
+
+const MulticoreGoldenRow multicore_golden_rows[] = {
+    {LsuMode::SqStoreSets,
+     {{"cycles", 15427}, {"insts", 48000}, {"loads", 8571},
+      {"stores", 8570}, {"branches", 3428}, {"comm_loads", 3428},
+      {"bypassed_loads", 0}, {"sq_forwards", 3429},
+      {"dcache_reads_core", 8571}, {"dcache_writes", 8570},
+      {"l1d_hits", 12004}, {"l1d_misses", 5137}, {"l2_hits", 0},
+      {"l2_misses", 0}, {"miss_cycles", 143836}},
+     5137, 5137, 5137,
+     {{{15427, 24000, 3428, 5142, 0},
+       {15427, 24000, 5143, 3428, 0}}}},
+    {LsuMode::Nosq,
+     {{"cycles", 7824}, {"insts", 48000}, {"loads", 8571},
+      {"stores", 8570}, {"branches", 3428}, {"comm_loads", 3428},
+      {"bypassed_loads", 3428}, {"sq_forwards", 0},
+      {"dcache_reads_core", 5143}, {"dcache_writes", 8570},
+      {"l1d_hits", 9195}, {"l1d_misses", 4518}, {"l2_hits", 0},
+      {"l2_misses", 0}, {"miss_cycles", 126504}},
+     4518, 4518, 4518,
+     {{{7824, 24000, 3428, 5142, 1714},
+       {7824, 24000, 5143, 3428, 1714}}}},
+};
+
+TEST(GoldenStats, TwoCoreSpscRingMatchesPinnedRun)
+{
+    for (const MulticoreGoldenRow &row : multicore_golden_rows) {
+        System system(makeParams(row.mode, /*big_window=*/false),
+                      buildMulticorePrograms("spsc-ring", 2, 8,
+                                             golden_seed));
+        const SimResult r = system.run(golden_insts, golden_warmup);
+
+        const auto counters = counterMap(r);
+        for (const auto &[name, value] : row.aggregate) {
+            const auto it = counters.find(name);
+            ASSERT_NE(it, counters.end()) << name;
+            EXPECT_EQ(it->second, value)
+                << lsuModeName(row.mode) << " counter '" << name
+                << "'";
+        }
+        EXPECT_TRUE(r.multicore);
+        EXPECT_EQ(r.numCores, 2u);
+        EXPECT_EQ(r.cohInvalidations, row.cohInvalidations)
+            << lsuModeName(row.mode);
+        EXPECT_EQ(r.cohC2cTransfers, row.cohC2cTransfers)
+            << lsuModeName(row.mode);
+        EXPECT_EQ(r.cohUpgradeMisses, row.cohUpgradeMisses)
+            << lsuModeName(row.mode);
+        ASSERT_EQ(r.perCore.size(), 2u);
+        for (std::size_t c = 0; c < 2; ++c) {
+            const SimResult::PerCore &pc = r.perCore[c];
+            const auto &want = row.perCore[c];
+            EXPECT_EQ(pc.cycles, want[0]) << "core " << c;
+            EXPECT_EQ(pc.insts, want[1]) << "core " << c;
+            EXPECT_EQ(pc.loads, want[2]) << "core " << c;
+            EXPECT_EQ(pc.stores, want[3]) << "core " << c;
+            EXPECT_EQ(pc.bypassedLoads, want[4]) << "core " << c;
+        }
+    }
+}
+
+/** NoSQ must beat the associative SQ on the queue kernel: that
+ * cross-core forwarding gap is the PR's headline measurement. */
+TEST(GoldenStats, MulticoreGoldenSeparatesLsuModes)
+{
+    const auto &sq = multicore_golden_rows[0];
+    const auto &nosq = multicore_golden_rows[1];
+    EXPECT_LT(nosq.aggregate[0].second, sq.aggregate[0].second)
+        << "NoSQ cycles should beat SQ on spsc-ring";
 }
 
 } // anonymous namespace

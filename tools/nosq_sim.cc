@@ -33,12 +33,15 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "memsys/coherence.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
 #include "sim/perf.hh"
 #include "sim/report.hh"
 #include "sim/sampling.hh"
 #include "sim/sweep.hh"
+#include "sim/system.hh"
+#include "workload/multicore.hh"
 #include "workload/profiles.hh"
 #include "workload/program_cache.hh"
 
@@ -74,6 +77,14 @@ usage()
         "                        trigger; 0: off, the default)\n"
         "  --bus-occupancy       model DRAM-bus occupancy (queueing)\n"
         "                        instead of the flat transfer cost\n"
+        "  --cores N             core count, 1..64 (default 1; > 1\n"
+        "                        runs an N-core System with a shared\n"
+        "                        coherent L2; a profile --bench\n"
+        "                        replicates homogeneously, a\n"
+        "                        multicore kernel --bench builds its\n"
+        "                        producer/consumer programs)\n"
+        "  --queue-depth N       multicore kernel ring slots, a power\n"
+        "                        of two in 8..4096 (default 16)\n"
         "  --seed N              workload seed (default 1)\n"
         "  --no-skip             disable event-driven cycle skipping\n"
         "                        (a wall-clock optimization only;\n"
@@ -111,6 +122,14 @@ usage()
         "                        both the associative-SQ baseline\n"
         "                        and NoSQ; report rows carry a\n"
         "                        \"memsys\" hierarchy label\n"
+        "  --sweep=multicore     multi-core dimension: core count x\n"
+        "                        queue depth over the producer/\n"
+        "                        consumer kernels (spsc-ring,\n"
+        "                        mpsc-queue), each point under both\n"
+        "                        the associative-SQ baseline and\n"
+        "                        NoSQ; --bench restricts the kernel\n"
+        "                        set, --cores/--queue-depth pin one\n"
+        "                        grid axis\n"
         "  --jobs N              worker threads (default: NOSQ_JOBS\n"
         "                        env, else hardware concurrency)\n"
         "  --suite NAME          media | int | fp | selected | all\n"
@@ -209,7 +228,9 @@ splitList(const std::string &list)
 }
 
 /** Which family of configurations a sweep invocation runs. */
-enum class SweepKind { Cross, Capacity, History, CacheReads, Memsys };
+enum class SweepKind {
+    Cross, Capacity, History, CacheReads, Memsys, Multicore
+};
 
 struct SweepOptions
 {
@@ -243,6 +264,10 @@ struct SweepOptions
     unsigned prefetch = 0;
     bool bus_occupancy = false;
     bool event_skip = true;
+    bool cores_set = false;
+    unsigned cores = 1;
+    bool queue_depth_set = false;
+    unsigned queue_depth = 0;
     SamplingParams sampling;
 };
 
@@ -317,8 +342,24 @@ runSweepMode(const SweepOptions &opt)
     spec.sampling = opt.sampling;
 
     // Benchmark set: an explicit comma-separated list narrows the
-    // suite selection.
-    if (!opt.bench.empty()) {
+    // suite selection. The multicore dimension sweeps kernel names
+    // (workload/multicore.hh) instead of benchmark profiles.
+    std::vector<std::string> kernels;
+    if (opt.kind == SweepKind::Multicore) {
+        if (opt.bench.empty()) {
+            kernels = multicoreWorkloads();
+        } else {
+            for (const std::string &name : splitList(opt.bench)) {
+                if (!isMulticoreWorkload(name)) {
+                    std::fprintf(stderr, "unknown multicore kernel "
+                                 "'%s' (spsc-ring | mpsc-queue)\n",
+                                 name.c_str());
+                    return 1;
+                }
+                kernels.push_back(name);
+            }
+        }
+    } else if (!opt.bench.empty()) {
         for (const std::string &name : splitList(opt.bench)) {
             const BenchmarkProfile *profile = findProfile(name);
             if (profile == nullptr) {
@@ -400,6 +441,13 @@ runSweepMode(const SweepOptions &opt)
             spec.configs = cacheReadsConfigs();
         else if (opt.kind == SweepKind::Memsys)
             spec.configs = memsysConfigs();
+        else if (opt.kind == SweepKind::Multicore)
+            spec.configs = multicoreConfigs(
+                opt.cores_set ? std::vector<unsigned>{opt.cores}
+                              : std::vector<unsigned>{2, 4},
+                opt.queue_depth_set
+                    ? std::vector<unsigned>{opt.queue_depth}
+                    : std::vector<unsigned>{8, 64});
         else
             spec.configs.push_back(sqPerfectBaseline());
         if (opt.kind == SweepKind::Capacity) {
@@ -442,7 +490,9 @@ runSweepMode(const SweepOptions &opt)
         for (SweepConfig &config : spec.configs)
             config.bigWindow = windows.front() == 256;
     }
-    if (spec.configs.empty() || spec.benchmarks.empty()) {
+    const bool have_workloads = opt.kind == SweepKind::Multicore
+        ? !kernels.empty() : !spec.benchmarks.empty();
+    if (spec.configs.empty() || !have_workloads) {
         std::fprintf(stderr, "empty sweep\n");
         return 1;
     }
@@ -455,6 +505,13 @@ runSweepMode(const SweepOptions &opt)
     for (SweepConfig &config : spec.configs) {
         if (!opt.delay)
             config.nosqDelay = false;
+        // Homogeneous multicore sweep of profile benchmarks; the
+        // multicore dimension already baked --cores into its grid,
+        // so re-applying the same value is a no-op there.
+        if (opt.cores_set)
+            config.cores = opt.cores;
+        if (opt.queue_depth_set)
+            config.queueDepth = opt.queue_depth;
         const std::function<void(UarchParams &)> dimension =
             config.tweak;
         config.tweak = [&opt, dimension](UarchParams &p) {
@@ -475,7 +532,20 @@ runSweepMode(const SweepOptions &opt)
         };
     }
 
-    const std::vector<SweepJob> jobs = buildJobs(spec);
+    std::vector<SweepJob> jobs;
+    if (opt.kind == SweepKind::Multicore) {
+        // Mirror buildJobs()'s insts/warmup defaulting so every
+        // sweep family reports the same header numbers.
+        const std::uint64_t mc_insts =
+            spec.insts ? spec.insts : defaultSimInsts();
+        const std::uint64_t mc_warmup =
+            spec.warmup == ~std::uint64_t(0) ? mc_insts / 3
+                                             : spec.warmup;
+        jobs = buildMulticoreJobs(kernels, spec.configs, mc_insts,
+                                  mc_warmup, spec.seed);
+    } else {
+        jobs = buildJobs(spec);
+    }
     SweepProgress progress;
     if (!opt.json) {
         progress = [](std::size_t done, std::size_t total) {
@@ -632,6 +702,10 @@ main(int argc, char **argv)
     unsigned prefetch = 0;
     bool bus_occupancy = false;
     bool event_skip = true;
+    unsigned cores = 1;
+    bool cores_set = false;
+    unsigned queue_depth = 0;
+    bool queue_depth_set = false;
     SamplingParams sampling;
     std::uint64_t seed = 1;
     bool sweep = false;
@@ -719,6 +793,29 @@ main(int argc, char **argv)
             prefetch_set = true;
         } else if (arg == "--bus-occupancy") {
             bus_occupancy = true;
+        } else if (arg == "--cores") {
+            const char *value = next();
+            unsigned long v = 0;
+            if (!parseUnsigned(value, v) || v == 0 ||
+                v > max_cores) {
+                std::fprintf(stderr, "invalid --cores '%s' "
+                             "(1..%u)\n", value,
+                             unsigned(max_cores));
+                return 1;
+            }
+            cores = static_cast<unsigned>(v);
+            cores_set = true;
+        } else if (arg == "--queue-depth") {
+            const char *value = next();
+            unsigned long v = 0;
+            if (!parseUnsigned(value, v) || v < 8 || v > 4096 ||
+                (v & (v - 1)) != 0) {
+                std::fprintf(stderr, "invalid --queue-depth '%s' "
+                             "(power of two in 8..4096)\n", value);
+                return 1;
+            }
+            queue_depth = static_cast<unsigned>(v);
+            queue_depth_set = true;
         } else if (arg == "--no-skip") {
             event_skip = false;
         } else if (arg == "--sample" ||
@@ -748,10 +845,13 @@ main(int argc, char **argv)
                 sweep_opt.kind = SweepKind::CacheReads;
             } else if (dimension == "memsys") {
                 sweep_opt.kind = SweepKind::Memsys;
+            } else if (dimension == "multicore") {
+                sweep_opt.kind = SweepKind::Multicore;
             } else {
                 std::fprintf(stderr, "unknown sweep dimension '%s' "
                              "(capacity | history | cache-reads | "
-                             "memsys)\n", dimension.c_str());
+                             "memsys | multicore)\n",
+                             dimension.c_str());
                 return 1;
             }
         } else if (arg == "--capacities") {
@@ -845,6 +945,23 @@ main(int argc, char **argv)
                      "--sweep=capacity\n");
         return 1;
     }
+    // Multi-core runs: sampled simulation is single-core only, and
+    // --queue-depth only shapes the producer/consumer kernels.
+    const bool multicore_run =
+        (cores_set && cores > 1) ||
+        (sweep && sweep_opt.kind == SweepKind::Multicore) ||
+        (!sweep && isMulticoreWorkload(bench));
+    if (sampling.enabled && multicore_run) {
+        std::fprintf(stderr, "--sample is single-core only\n");
+        return 1;
+    }
+    if (queue_depth_set &&
+        !((sweep && sweep_opt.kind == SweepKind::Multicore) ||
+          (!sweep && isMulticoreWorkload(bench)))) {
+        std::fprintf(stderr, "--queue-depth applies only to "
+                     "multicore kernel runs\n");
+        return 1;
+    }
     if ((!sweep_opt.checkpoint_path.empty() ||
          !sweep_opt.resume_path.empty()) && !sweep) {
         std::fprintf(stderr, "--checkpoint/--resume apply only to "
@@ -901,6 +1018,14 @@ main(int argc, char **argv)
             sweep_opt.prefetch_set = true;
             sweep_opt.prefetch = prefetch;
         }
+        if (cores_set) {
+            sweep_opt.cores_set = true;
+            sweep_opt.cores = cores;
+        }
+        if (queue_depth_set) {
+            sweep_opt.queue_depth_set = true;
+            sweep_opt.queue_depth = queue_depth;
+        }
         sweep_opt.bus_occupancy = bus_occupancy;
         sweep_opt.event_skip = event_skip;
         sweep_opt.sampling = sampling;
@@ -911,10 +1036,22 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
-    const BenchmarkProfile *profile = findProfile(bench);
-    if (profile == nullptr) {
+    // A multicore kernel name runs an N-core System (default 2
+    // cores); a profile name runs single-core unless --cores > 1
+    // asks for a homogeneous System.
+    const bool mc_kernel = isMulticoreWorkload(bench);
+    const BenchmarkProfile *profile =
+        mc_kernel ? nullptr : findProfile(bench);
+    if (!mc_kernel && profile == nullptr) {
         std::fprintf(stderr, "unknown benchmark '%s' "
                      "(try --list)\n", bench.c_str());
+        return 1;
+    }
+    const unsigned num_cores =
+        cores_set ? cores : (mc_kernel ? 2u : 1u);
+    if (mc_kernel && num_cores < 2) {
+        std::fprintf(stderr, "multicore kernel '%s' needs "
+                     "--cores >= 2\n", bench.c_str());
         return 1;
     }
 
@@ -936,17 +1073,43 @@ main(int argc, char **argv)
     if (!warmup_set)
         warmup = insts / 3;
 
-    std::printf("benchmark %s | %s | window %u | delay %s | "
-                "SVW %s | mshrs %u | prefetch %u | bus %s\n\n",
-                profile->name, lsuModeName(lsu),
-                big_window ? 256u : 128u, delay ? "on" : "off",
-                svw ? "on" : "off", mshrs, prefetch,
-                bus_occupancy ? "occupancy" : "flat");
+    std::printf("benchmark %s | %s | window %u | cores %u | "
+                "delay %s | SVW %s | mshrs %u | prefetch %u | "
+                "bus %s\n\n",
+                bench.c_str(), lsuModeName(lsu),
+                big_window ? 256u : 128u, num_cores,
+                delay ? "on" : "off", svw ? "on" : "off", mshrs,
+                prefetch, bus_occupancy ? "occupancy" : "flat");
 
-    OooCore core(params, ProgramCache::global().get(*profile, seed));
-    const SimResult r = sampling.enabled
-        ? core.runSampled(sampling)
-        : core.run(insts, warmup);
+    SimResult r;
+    if (num_cores > 1) {
+        std::vector<std::shared_ptr<const Program>> programs;
+        try {
+            if (mc_kernel) {
+                programs = buildMulticorePrograms(
+                    bench, num_cores,
+                    queue_depth_set ? queue_depth
+                                    : default_queue_depth,
+                    seed);
+            } else {
+                programs.reserve(num_cores);
+                for (unsigned i = 0; i < num_cores; ++i) {
+                    programs.push_back(ProgramCache::global().get(
+                        *profile, seed + i));
+                }
+            }
+            System system(params, std::move(programs));
+            r = system.run(insts, warmup);
+        } catch (const std::invalid_argument &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    } else {
+        OooCore core(params,
+                     ProgramCache::global().get(*profile, seed));
+        r = sampling.enabled ? core.runSampled(sampling)
+                             : core.run(insts, warmup);
+    }
 
     TextTable table;
     table.header({"statistic", "value"});
@@ -1000,6 +1163,22 @@ main(int argc, char **argv)
     row("prefetch accuracy %",
         fmtDouble(100 * r.prefetchAccuracy(), 1));
     count("cycles skipped (events)", r.skippedCycles);
+    if (r.multicore) {
+        count("cores", r.numCores);
+        count("coherence invalidations", r.cohInvalidations);
+        count("cache-to-cache transfers", r.cohC2cTransfers);
+        count("coherence upgrade misses", r.cohUpgradeMisses);
+        for (std::size_t i = 0; i < r.perCore.size(); ++i) {
+            const SimResult::PerCore &pc = r.perCore[i];
+            const double ipc = pc.cycles
+                ? double(pc.insts) / double(pc.cycles) : 0.0;
+            table.row({"core " + std::to_string(i) +
+                           " insts/IPC/bypassed",
+                       std::to_string(pc.insts) + " / " +
+                           fmtDouble(ipc, 3) + " / " +
+                           std::to_string(pc.bypassedLoads)});
+        }
+    }
     if (r.sampled) {
         count("sample intervals", r.sampleIntervals);
         count("fast-forwarded insts", r.sampleFfInsts);
