@@ -127,6 +127,102 @@ struct UarchParams
  */
 UarchParams makeParams(LsuMode mode, bool big_window = false);
 
+/**
+ * Visit every UarchParams field, nested component configs included:
+ * fn(key, member). The single source of truth for the parameter
+ * tuple -- the journal's fingerprint hash (sim/journal.cc) and the
+ * serving layer's job wire form (serve/protocol.cc) both iterate
+ * it, so the two can never disagree about which fields identify a
+ * configuration. Keys and visit order are PERSISTED (journal
+ * fingerprints hash them in this order under these names); append
+ * new fields at the end and never rename one.
+ *
+ * Every member is integral (bool/unsigned/enum/Cycle/size_t), so a
+ * generic visitor can round-trip each through std::uint64_t.
+ */
+template <typename ParamsT, typename Fn>
+void
+forEachUarchField(ParamsT &p, Fn &&fn)
+{
+    fn("mode", p.mode);
+    fn("delay", p.nosqDelay);
+    fn("svw", p.svwFilter);
+    fn("fetchW", p.fetchWidth);
+    fn("renameW", p.renameWidth);
+    fn("issueW", p.issueWidth);
+    fn("commitW", p.commitWidth);
+    fn("maxBr", p.maxBranchesPerCycle);
+    fn("rob", p.robSize);
+    fn("iq", p.iqSize);
+    fn("lq", p.lqSize);
+    fn("sq", p.sqSize);
+    fn("regs", p.numPhysRegs);
+    fn("fbuf", p.fetchBufferSize);
+    fn("isSimple", p.issueSimple);
+    fn("isComplex", p.issueComplex);
+    fn("isBranch", p.issueBranch);
+    fn("isLoad", p.issueLoad);
+    fn("isStore", p.issueStore);
+    fn("f2r", p.fetchToRename);
+    fn("i2e", p.issueToExec);
+    fn("beDepth", p.backendDepth);
+    fn("beDepthN", p.backendDepthNosq);
+    fn("br.tab", p.branch.tableEntries);
+    fn("br.hist", p.branch.historyBits);
+    fn("br.btb", p.branch.btbEntries);
+    fn("br.btbA", p.branch.btbAssoc);
+    fn("br.ras", p.branch.rasEntries);
+    fn("bp.ent", p.bypass.entriesPerTable);
+    fn("bp.assoc", p.bypass.assoc);
+    fn("bp.hist", p.bypass.historyBits);
+    fn("bp.dist", p.bypass.maxDistance);
+    fn("bp.cBits", p.bypass.confBits);
+    fn("bp.cInit", p.bypass.confInit);
+    fn("bp.cThr", p.bypass.confThreshold);
+    fn("bp.cDec", p.bypass.confDec);
+    fn("bp.cInc", p.bypass.confInc);
+    fn("bp.inf", p.bypass.unbounded);
+    fn("ss.ssit", p.storeSets.ssitEntries);
+    fn("ss.lfst", p.storeSets.lfstEntries);
+    fn("ss.clear", p.storeSets.cyclicClearInterval);
+    fn("tssbf.ent", p.tssbf.entries);
+    fn("tssbf.assoc", p.tssbf.assoc);
+    fn("l1i.size", p.memsys.l1i.sizeBytes);
+    fn("l1i.assoc", p.memsys.l1i.assoc);
+    fn("l1i.line", p.memsys.l1i.lineBytes);
+    fn("l1i.lat", p.memsys.l1i.hitLatency);
+    fn("l1d.size", p.memsys.l1d.sizeBytes);
+    fn("l1d.assoc", p.memsys.l1d.assoc);
+    fn("l1d.line", p.memsys.l1d.lineBytes);
+    fn("l1d.lat", p.memsys.l1d.hitLatency);
+    fn("l2.size", p.memsys.l2.sizeBytes);
+    fn("l2.assoc", p.memsys.l2.assoc);
+    fn("l2.line", p.memsys.l2.lineBytes);
+    fn("l2.lat", p.memsys.l2.hitLatency);
+    fn("itlb.ent", p.memsys.itlb.entries);
+    fn("itlb.assoc", p.memsys.itlb.assoc);
+    fn("itlb.page", p.memsys.itlb.pageBits);
+    fn("itlb.miss", p.memsys.itlb.missLatency);
+    fn("dtlb.ent", p.memsys.dtlb.entries);
+    fn("dtlb.assoc", p.memsys.dtlb.assoc);
+    fn("dtlb.page", p.memsys.dtlb.pageBits);
+    fn("dtlb.miss", p.memsys.dtlb.missLatency);
+    fn("mem.lat", p.memsys.memoryLatency);
+    fn("mem.bus", p.memsys.busTransfer);
+    fn("mem.mshrs", p.memsys.mshrs);
+    fn("mem.mshrT", p.memsys.mshrTargets);
+    fn("mem.busOcc", p.memsys.busContention);
+    fn("mem.prefD", p.memsys.prefetchDegree);
+    fn("mem.prefS", p.memsys.prefetchStreams);
+    fn("mem.cohC2c", p.memsys.cohC2cLatency);
+    fn("mem.cohUpg", p.memsys.cohUpgradeLatency);
+    fn("ssnWrap", p.ssnWrapPeriod);
+    // eventSkip never changes statistics, but it is part of the
+    // params tuple: a --no-skip A/B study must not share journal
+    // records (or daemon cache entries) with the default config.
+    fn("evSkip", p.eventSkip);
+}
+
 } // namespace nosq
 
 #endif // NOSQ_OOO_UARCH_PARAMS_HH

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Sweep client implementation (see client.hh).
+ */
+
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+#include "sim/journal.hh"
+#include "sim/report.hh"
+
+namespace nosq {
+namespace serve {
+
+namespace {
+
+int
+connectTo(const std::string &socket_path, std::string &error)
+{
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path '" + socket_path +
+                "' exceeds the AF_UNIX limit";
+        return -1;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 ||
+        connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        error = "cannot connect to '" + socket_path +
+                "': " + std::strerror(errno) +
+                " (is nosq_sweepd running?)";
+        if (fd >= 0)
+            close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data, std::string &error)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = send(fd, data.data() + sent,
+                               data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            error = "send failed: " +
+                    std::string(std::strerror(errno));
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read one '\n'-terminated line (buffered across calls). */
+bool
+readLine(int fd, std::string &buffer, std::string &line,
+         std::string &error)
+{
+    for (;;) {
+        const std::size_t nl = buffer.find('\n');
+        if (nl != std::string::npos) {
+            line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[1 << 16];
+        const ssize_t got = read(fd, chunk, sizeof(chunk));
+        if (got > 0) {
+            buffer.append(chunk, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0)
+            error = "server closed the connection mid-stream";
+        else
+            error = "read failed: " +
+                    std::string(std::strerror(errno));
+        return false;
+    }
+}
+
+/** The invalid placeholder runSweep() uses for a failed job. */
+RunResult
+failedResult(const SweepJob &job)
+{
+    RunResult result;
+    result.benchmark =
+        job.profile ? job.profile->name : job.benchmark;
+    result.suite = job.profile ? job.profile->suite : job.suite;
+    result.config = job.config;
+    result.memsys = job.memsysLabel;
+    result.valid = false;
+    return result;
+}
+
+} // anonymous namespace
+
+bool
+runSweepOnServer(const std::string &socket_path,
+                 const std::vector<SweepJob> &jobs,
+                 ClientOutcome &out, std::string &error,
+                 const std::function<void(std::size_t,
+                                          std::size_t)> &progress)
+{
+    out = ClientOutcome();
+    if (jobs.empty()) {
+        error = "no jobs to submit";
+        return false;
+    }
+
+    std::string request_error;
+    const std::string request =
+        submitRequestLine(jobs, &request_error);
+    if (request.empty()) {
+        error = "unserializable sweep: " + request_error;
+        return false;
+    }
+
+    const int fd = connectTo(socket_path, error);
+    if (fd < 0)
+        return false;
+    if (!sendAll(fd, request, error)) {
+        close(fd);
+        return false;
+    }
+
+    std::string buffer, line;
+    bool ok = true;
+    std::vector<char> have(jobs.size(), 0);
+    out.results.assign(jobs.size(), RunResult());
+    std::size_t delivered = 0;
+
+    // Ack first.
+    if (!readLine(fd, buffer, line, error)) {
+        close(fd);
+        return false;
+    }
+    JsonValue ack;
+    if (!parseJson(line, ack, nullptr) ||
+        ack.kind != JsonValue::Kind::Object) {
+        error = "unparseable server reply: " + line;
+        close(fd);
+        return false;
+    }
+    if (const JsonValue *okv = ack.find("ok");
+        okv == nullptr || okv->kind != JsonValue::Kind::Bool ||
+        !okv->boolean) {
+        const JsonValue *msg = ack.find("error");
+        error = "server refused the sweep: " +
+                (msg != nullptr &&
+                         msg->kind == JsonValue::Kind::String
+                     ? msg->string
+                     : line);
+        close(fd);
+        return false;
+    }
+    if (const JsonValue *t = ack.find("ticket");
+        t != nullptr && t->kind == JsonValue::Kind::String)
+        out.ticket = t->string;
+    std::uint64_t n = 0;
+    if (const JsonValue *c = ack.find("cached");
+        c != nullptr && jsonExactCounter(*c, n))
+        out.cached = static_cast<std::size_t>(n);
+    if (const JsonValue *s = ack.find("shared");
+        s != nullptr && jsonExactCounter(*s, n))
+        out.shared = static_cast<std::size_t>(n);
+
+    // Stream until the done marker.
+    while (delivered < jobs.size()) {
+        if (!readLine(fd, buffer, line, error)) {
+            ok = false;
+            break;
+        }
+        JsonValue v;
+        if (!parseJson(line, v, nullptr) ||
+            v.kind != JsonValue::Kind::Object) {
+            error = "unparseable server stream line: " + line;
+            ok = false;
+            break;
+        }
+        if (v.find("done") != nullptr)
+            continue; // premature; tolerated
+        std::uint64_t index = 0;
+        const JsonValue *job = v.find("job");
+        if (job == nullptr || !jsonExactCounter(*job, index) ||
+            index >= jobs.size()) {
+            error = "server stream line with a bad job index: " +
+                    line;
+            ok = false;
+            break;
+        }
+        if (have[index])
+            continue; // duplicate delivery; first wins
+        if (const JsonValue *run = v.find("run")) {
+            if (!runResultFromJson(*run, out.results[index])) {
+                error = "unrestorable result for job " +
+                        std::to_string(index);
+                ok = false;
+                break;
+            }
+        } else if (const JsonValue *msg = v.find("error")) {
+            out.results[index] = failedResult(jobs[index]);
+            out.failures.push_back(
+                std::to_string(index) + ": " +
+                (msg->kind == JsonValue::Kind::String
+                     ? msg->string
+                     : "unknown failure"));
+        } else {
+            error = "server stream line with neither result nor "
+                    "error: " +
+                    line;
+            ok = false;
+            break;
+        }
+        have[index] = 1;
+        ++delivered;
+        if (progress)
+            progress(delivered, jobs.size());
+    }
+
+    close(fd);
+    return ok;
+}
+
+bool
+fetchServerStatus(const std::string &socket_path,
+                  std::string &reply, std::string &error)
+{
+    const int fd = connectTo(socket_path, error);
+    if (fd < 0)
+        return false;
+    if (!sendAll(fd, statusRequestLine(), error)) {
+        close(fd);
+        return false;
+    }
+    std::string buffer;
+    const bool ok = readLine(fd, buffer, reply, error);
+    close(fd);
+    return ok;
+}
+
+} // namespace serve
+} // namespace nosq

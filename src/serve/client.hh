@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The sweep client behind `nosq_sim --server`: submit a job list to
+ * a running nosq_sweepd, stream the results back, and reassemble
+ * them in job order.
+ *
+ * The determinism contract makes the swap invisible: every result
+ * crosses the wire in the journal's record shape and restores
+ * bit-identically, so a report assembled from a server sweep is
+ * byte-identical to a local runSweep() report over the same jobs.
+ */
+
+#ifndef NOSQ_SERVE_CLIENT_HH
+#define NOSQ_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/sweep.hh"
+
+namespace nosq {
+namespace serve {
+
+/** One finished server sweep. */
+struct ClientOutcome
+{
+    /** Per-job results in submission order. Jobs the daemon
+     * reported as failed hold the same invalid placeholder result
+     * runSweep() produces (benchmark/suite/config/memsys labelled,
+     * valid == false). */
+    std::vector<RunResult> results;
+    /** "index: message" per failed job, in delivery order. */
+    std::vector<std::string> failures;
+    std::string ticket;
+    std::size_t cached = 0; ///< served from the daemon's store
+    std::size_t shared = 0; ///< deduped onto running executions
+};
+
+/**
+ * Submit @p jobs to the daemon at @p socket_path and collect every
+ * result.
+ *
+ * @param progress optional (done, total) callback, fired per
+ *        delivered job
+ * @return false with @p error set on connection or protocol
+ *         failure (per-job failures do NOT fail the call; they land
+ *         in ClientOutcome::failures)
+ */
+bool runSweepOnServer(const std::string &socket_path,
+                      const std::vector<SweepJob> &jobs,
+                      ClientOutcome &out, std::string &error,
+                      const std::function<void(std::size_t,
+                                               std::size_t)>
+                          &progress = nullptr);
+
+/**
+ * Fetch the daemon's one-line status JSON.
+ * @return false with @p error set on failure
+ */
+bool fetchServerStatus(const std::string &socket_path,
+                       std::string &reply, std::string &error);
+
+} // namespace serve
+} // namespace nosq
+
+#endif // NOSQ_SERVE_CLIENT_HH

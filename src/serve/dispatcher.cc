@@ -1,0 +1,686 @@
+/**
+ * @file
+ * Dispatcher implementation (see dispatcher.hh).
+ */
+
+#include "serve/dispatcher.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "serve/worker.hh"
+#include "sim/journal.hh"
+#include "sim/sweep.hh"
+
+namespace nosq {
+namespace serve {
+
+namespace {
+
+/** Per-worker dispatch depth: one running + one queued keeps a
+ * worker busy across the ring round trip without hoarding jobs a
+ * surviving worker could be running. */
+constexpr std::size_t max_inflight_per_worker = 2;
+
+void
+logLine(const char *format, ...)
+{
+    va_list args;
+    va_start(args, format);
+    std::fputs("sweepd: ", stderr);
+    std::vfprintf(stderr, format, args);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    va_end(args);
+}
+
+} // anonymous namespace
+
+Dispatcher::Dispatcher(DispatcherOptions options)
+    : opts(std::move(options))
+{
+    if (opts.workers == 0)
+        opts.workers = defaultSweepWorkers();
+    opts.workers = std::max(1u, std::min(opts.workers, 64u));
+}
+
+Dispatcher::~Dispatcher()
+{
+    shutdownWorkers();
+    for (auto &[fd, client] : clients) {
+        (void)client;
+        close(fd);
+    }
+    if (listen_fd >= 0) {
+        close(listen_fd);
+        unlink(opts.socketPath.c_str());
+    }
+}
+
+std::uint64_t
+Dispatcher::nowMs() const
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+bool
+Dispatcher::init(std::string &error)
+{
+    signal(SIGPIPE, SIG_IGN);
+
+    if (!store.open(opts.storePath, error))
+        return false;
+    for (const std::string &warning : store.warnings())
+        logLine("%s", warning.c_str());
+    logLine("store '%s': %zu cached result(s)",
+            store.path().c_str(), store.size());
+
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (opts.socketPath.size() >= sizeof(addr.sun_path)) {
+        error = "socket path '" + opts.socketPath +
+                "' exceeds the AF_UNIX limit (" +
+                std::to_string(sizeof(addr.sun_path) - 1) +
+                " bytes); use a shorter path";
+        return false;
+    }
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    // Refuse to steal a live daemon's socket: only an unconnectable
+    // (stale) socket file is swept aside.
+    const int probe = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+        if (connect(probe,
+                    reinterpret_cast<struct sockaddr *>(&addr),
+                    sizeof(addr)) == 0) {
+            close(probe);
+            error = "another daemon is already serving on '" +
+                    opts.socketPath + "'";
+            return false;
+        }
+        close(probe);
+    }
+    unlink(opts.socketPath.c_str());
+
+    listen_fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0 ||
+        bind(listen_fd, reinterpret_cast<struct sockaddr *>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(listen_fd, 16) != 0) {
+        error = "cannot listen on '" + opts.socketPath +
+                "': " + std::strerror(errno);
+        return false;
+    }
+    fcntl(listen_fd, F_SETFL, O_NONBLOCK);
+
+    workers.resize(opts.workers);
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        if (!spawnWorker(i, error))
+            return false;
+    }
+    logLine("serving on '%s' with %zu worker(s)",
+            opts.socketPath.c_str(), workers.size());
+    return true;
+}
+
+bool
+Dispatcher::spawnWorker(std::size_t slot, std::string &error)
+{
+    Worker &worker = workers[slot];
+    worker.channel = mapWorkerChannel();
+    if (worker.channel == nullptr) {
+        error = "cannot map worker shared memory: " +
+                std::string(std::strerror(errno));
+        return false;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+        error = "fork failed: " + std::string(std::strerror(errno));
+        unmapWorkerChannel(worker.channel);
+        worker.channel = nullptr;
+        return false;
+    }
+    if (pid == 0) {
+        // Worker process: the listening socket and client fds
+        // belong to the parent.
+        if (listen_fd >= 0)
+            close(listen_fd);
+        for (const auto &[fd, client] : clients) {
+            (void)client;
+            close(fd);
+        }
+        _exit(workerMain(workers[slot].channel));
+    }
+    worker.pid = pid;
+    worker.alive = true;
+    worker.lastBeat = 0;
+    worker.lastBeatAtMs = nowMs();
+    worker.inflight.clear();
+    logLine("worker %zu started (pid %d)", slot,
+            static_cast<int>(pid));
+    return true;
+}
+
+int
+Dispatcher::run()
+{
+    while (opts.stopFlag == nullptr || *opts.stopFlag == 0) {
+        std::vector<struct pollfd> fds;
+        fds.push_back({listen_fd, POLLIN, 0});
+        for (const auto &[fd, client] : clients) {
+            short events = POLLIN;
+            if (!client.outbuf.empty())
+                events |= POLLOUT;
+            fds.push_back({fd, events, 0});
+        }
+        // 20ms tick: worker rings and heartbeats are polled, not
+        // signalled, so the loop must wake even when idle.
+        poll(fds.data(), fds.size(), 20);
+
+        if (fds[0].revents & POLLIN)
+            acceptClients();
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if (fds[i].revents &
+                (POLLIN | POLLERR | POLLHUP))
+                readClient(fds[i].fd);
+        }
+
+        drainResults();
+        reapWorkers();
+        checkHeartbeats();
+        feedWorkers();
+        flushClients();
+    }
+    logLine("stop requested; shutting down");
+    shutdownWorkers();
+    return 0;
+}
+
+void
+Dispatcher::acceptClients()
+{
+    for (;;) {
+        const int fd = accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            return;
+        fcntl(fd, F_SETFL, O_NONBLOCK);
+        clients.emplace(fd, Client());
+    }
+}
+
+void
+Dispatcher::readClient(int fd)
+{
+    auto it = clients.find(fd);
+    if (it == clients.end())
+        return;
+    Client &client = it->second;
+
+    char buffer[1 << 16];
+    for (;;) {
+        const ssize_t got = read(fd, buffer, sizeof(buffer));
+        if (got > 0) {
+            client.inbuf.append(buffer,
+                                static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got == 0) {
+            closeClient(fd);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        closeClient(fd);
+        return;
+    }
+
+    if (client.inbuf.size() > max_request_bytes &&
+        client.inbuf.find('\n') == std::string::npos) {
+        // Mid-line resync is not reliable; answer and hang up.
+        client.outbuf += errorReplyLine(
+            "request line exceeds " +
+            std::to_string(max_request_bytes) + " bytes");
+        client.closing = true;
+        client.inbuf.clear();
+        return;
+    }
+
+    std::size_t pos = 0;
+    for (;;) {
+        const std::size_t nl = client.inbuf.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        const std::string line =
+            client.inbuf.substr(pos, nl - pos);
+        pos = nl + 1;
+        handleLine(fd, line);
+        if (clients.find(fd) == clients.end())
+            return; // handler closed the connection
+    }
+    client.inbuf.erase(0, pos);
+}
+
+void
+Dispatcher::handleLine(int fd, const std::string &line)
+{
+    Request request;
+    std::string error;
+    if (!parseRequestLine(line, request, error)) {
+        clients[fd].outbuf += errorReplyLine(error);
+        return;
+    }
+    switch (request.op) {
+      case Request::Op::Submit:
+        handleSubmit(fd, request);
+        break;
+      case Request::Op::Status:
+        handleStatus(fd);
+        break;
+      case Request::Op::Results:
+        handleResults(fd, request);
+        break;
+      case Request::Op::Cancel:
+        handleCancel(fd, request);
+        break;
+    }
+}
+
+void
+Dispatcher::handleSubmit(int fd, const Request &request)
+{
+    const std::string ticket =
+        "t" + std::to_string(++ticket_seq);
+    Ticket &t = tickets[ticket];
+    t.fd = fd;
+    t.jobs = request.jobs.size();
+
+    std::size_t cached = 0, shared = 0;
+    std::string streamed;
+    for (std::size_t i = 0; i < request.jobs.size(); ++i) {
+        const SweepJob &job = request.jobs[i];
+        const std::string fp = jobFingerprint(job);
+        if (store.has(fp)) {
+            streamed += jobResultLine(i, fp, store.get(fp));
+            ++t.delivered;
+            ++cached;
+            ++stat_cache_hits;
+            continue;
+        }
+        auto it = execs.find(fp);
+        if (it != execs.end()) {
+            it->second.waiters.push_back(Waiter{fd, ticket, i});
+            ++shared;
+            ++stat_dedup_shared;
+            continue;
+        }
+        Exec exec;
+        exec.job = job;
+        exec.waiters.push_back(Waiter{fd, ticket, i});
+        execs.emplace(fp, std::move(exec));
+        pending.push_back(fp);
+    }
+
+    Client &client = clients[fd];
+    client.outbuf += submitAckLine(ticket, request.jobs.size(),
+                                   cached, shared);
+    client.outbuf += streamed;
+    if (t.delivered == t.jobs) {
+        client.outbuf += doneLine(ticket, t.jobs);
+        tickets.erase(ticket);
+    }
+    logLine("%s: %zu job(s), %zu cached, %zu shared, %zu queued",
+            ticket.c_str(), request.jobs.size(), cached, shared,
+            request.jobs.size() - cached - shared);
+}
+
+void
+Dispatcher::handleStatus(int fd)
+{
+    std::size_t alive = 0;
+    for (const Worker &worker : workers)
+        alive += worker.alive ? 1 : 0;
+    std::string reply = "{\"ok\":true";
+    reply += ",\"workers\":" + std::to_string(workers.size());
+    reply += ",\"alive\":" + std::to_string(alive);
+    reply += ",\"executed\":" + std::to_string(stat_executed);
+    reply += ",\"cache_hits\":" + std::to_string(stat_cache_hits);
+    reply +=
+        ",\"dedup_shared\":" + std::to_string(stat_dedup_shared);
+    reply +=
+        ",\"worker_deaths\":" + std::to_string(stat_worker_deaths);
+    reply += ",\"requeued\":" + std::to_string(stat_requeued);
+    reply += ",\"failed\":" + std::to_string(stat_failed);
+    reply += ",\"store_size\":" + std::to_string(store.size());
+    reply += ",\"pending\":" + std::to_string(pending.size());
+    reply += ",\"running\":" +
+             std::to_string(execs.size() - pending.size());
+    reply += "}\n";
+    clients[fd].outbuf += reply;
+}
+
+void
+Dispatcher::handleResults(int fd, const Request &request)
+{
+    if (!store.has(request.fp)) {
+        clients[fd].outbuf += errorReplyLine(
+            "no stored result for fingerprint '" + request.fp +
+            "'");
+        return;
+    }
+    clients[fd].outbuf +=
+        jobResultLine(0, request.fp, store.get(request.fp));
+}
+
+void
+Dispatcher::handleCancel(int fd, const Request &request)
+{
+    auto it = tickets.find(request.ticket);
+    if (it == tickets.end() || it->second.fd != fd) {
+        clients[fd].outbuf += errorReplyLine(
+            "unknown ticket '" + request.ticket + "'");
+        return;
+    }
+    // Drop the ticket's waiters; executions keep running (their
+    // results still warm the store, and other waiters may exist).
+    for (auto &[fp, exec] : execs) {
+        (void)fp;
+        exec.waiters.erase(
+            std::remove_if(exec.waiters.begin(),
+                           exec.waiters.end(),
+                           [&](const Waiter &w) {
+                               return w.ticket == request.ticket;
+                           }),
+            exec.waiters.end());
+    }
+    tickets.erase(it);
+    clients[fd].outbuf += "{\"ok\":true,\"ticket\":\"" +
+                          jsonEscape(request.ticket) +
+                          "\",\"cancelled\":true}\n";
+}
+
+void
+Dispatcher::drainResults()
+{
+    std::string line;
+    for (std::size_t slot = 0; slot < workers.size(); ++slot) {
+        Worker &worker = workers[slot];
+        if (worker.channel == nullptr)
+            continue;
+        while (worker.channel->results.tryPop(line)) {
+            WorkerResult result;
+            std::string error;
+            if (!parseWorkerResultLine(line, result, error)) {
+                logLine("worker %zu: unparseable result frame "
+                        "(%s); dropped",
+                        slot, error.c_str());
+                continue;
+            }
+            worker.inflight.erase(
+                std::remove(worker.inflight.begin(),
+                            worker.inflight.end(), result.id),
+                worker.inflight.end());
+            const auto idit = id_to_fp.find(result.id);
+            if (idit == id_to_fp.end())
+                continue; // already requeued and completed elsewhere
+            const std::string fp = idit->second;
+            id_to_fp.erase(idit);
+            ++stat_executed;
+            if (result.error.empty()) {
+                store.put(fp, result.run);
+                deliver(fp, &result.run, "");
+            } else {
+                ++stat_failed;
+                deliver(fp, nullptr, result.error);
+            }
+        }
+    }
+}
+
+void
+Dispatcher::deliver(const std::string &fp, const RunResult *run,
+                    const std::string &error_message)
+{
+    auto it = execs.find(fp);
+    if (it == execs.end())
+        return;
+    for (const Waiter &waiter : it->second.waiters) {
+        auto cit = clients.find(waiter.fd);
+        auto tit = tickets.find(waiter.ticket);
+        if (cit == clients.end() || tit == tickets.end())
+            continue; // client hung up before completion
+        if (run != nullptr)
+            cit->second.outbuf +=
+                jobResultLine(waiter.index, fp, *run);
+        else
+            cit->second.outbuf += jobErrorLine(
+                waiter.index, fp, error_message);
+        Ticket &ticket = tit->second;
+        if (++ticket.delivered == ticket.jobs) {
+            cit->second.outbuf +=
+                doneLine(waiter.ticket, ticket.jobs);
+            tickets.erase(tit);
+        }
+    }
+    execs.erase(it);
+}
+
+void
+Dispatcher::reapWorkers()
+{
+    for (;;) {
+        int status = 0;
+        const pid_t pid = waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            return;
+        for (std::size_t slot = 0; slot < workers.size(); ++slot) {
+            Worker &worker = workers[slot];
+            if (worker.pid != pid || !worker.alive)
+                continue;
+            worker.alive = false;
+            ++stat_worker_deaths;
+            if (WIFSIGNALED(status))
+                logLine("worker %zu (pid %d) killed by signal %d",
+                        slot, static_cast<int>(pid),
+                        WTERMSIG(status));
+            else
+                logLine("worker %zu (pid %d) exited with status "
+                        "%d",
+                        slot, static_cast<int>(pid),
+                        WEXITSTATUS(status));
+            requeueWorkerJobs(slot);
+            unmapWorkerChannel(worker.channel);
+            worker.channel = nullptr;
+            worker.pid = -1;
+            std::string error;
+            if (!spawnWorker(slot, error))
+                logLine("respawn failed: %s (continuing with a "
+                        "smaller pool)",
+                        error.c_str());
+            break;
+        }
+    }
+}
+
+void
+Dispatcher::requeueWorkerJobs(std::size_t slot)
+{
+    Worker &worker = workers[slot];
+    // Oldest work first: requeued jobs jump the queue so a retried
+    // sweep is not starved behind newly submitted ones.
+    for (auto it = worker.inflight.rbegin();
+         it != worker.inflight.rend(); ++it) {
+        const auto idit = id_to_fp.find(*it);
+        if (idit == id_to_fp.end())
+            continue;
+        const std::string fp = idit->second;
+        id_to_fp.erase(idit);
+        auto eit = execs.find(fp);
+        if (eit == execs.end())
+            continue;
+        eit->second.worker = -1;
+        eit->second.id = 0;
+        pending.push_front(fp);
+        ++stat_requeued;
+        logLine("requeued job %s", fp.c_str());
+    }
+    worker.inflight.clear();
+}
+
+void
+Dispatcher::checkHeartbeats()
+{
+    const std::uint64_t now = nowMs();
+    const std::uint64_t limit =
+        static_cast<std::uint64_t>(opts.heartbeatTimeoutSec) *
+        1000u;
+    for (std::size_t slot = 0; slot < workers.size(); ++slot) {
+        Worker &worker = workers[slot];
+        if (!worker.alive || worker.channel == nullptr)
+            continue;
+        const std::uint64_t beat =
+            worker.channel->heartbeat.load(
+                std::memory_order_relaxed);
+        if (beat != worker.lastBeat) {
+            worker.lastBeat = beat;
+            worker.lastBeatAtMs = now;
+            continue;
+        }
+        if (now - worker.lastBeatAtMs > limit) {
+            logLine("worker %zu (pid %d): no heartbeat for %us; "
+                    "killing",
+                    slot, static_cast<int>(worker.pid),
+                    opts.heartbeatTimeoutSec);
+            kill(worker.pid, SIGKILL);
+            // reapWorkers() requeues its jobs and respawns.
+            worker.lastBeatAtMs = now;
+        }
+    }
+}
+
+void
+Dispatcher::feedWorkers()
+{
+    if (pending.empty())
+        return;
+    for (std::size_t slot = 0;
+         slot < workers.size() && !pending.empty(); ++slot) {
+        Worker &worker = workers[slot];
+        if (!worker.alive || worker.channel == nullptr)
+            continue;
+        while (!pending.empty() &&
+               worker.inflight.size() < max_inflight_per_worker) {
+            const std::string fp = pending.front();
+            auto it = execs.find(fp);
+            if (it == execs.end()) {
+                pending.pop_front();
+                continue; // cancelled/completed meanwhile
+            }
+            const std::uint64_t id = ++exec_seq;
+            const std::string frame =
+                workerJobLine(id, it->second.job);
+            if (!worker.channel->jobs.tryPush(frame))
+                break; // ring full; try again next tick
+            pending.pop_front();
+            it->second.worker = static_cast<int>(slot);
+            it->second.id = id;
+            id_to_fp.emplace(id, fp);
+            worker.inflight.push_back(id);
+        }
+    }
+}
+
+void
+Dispatcher::flushClients()
+{
+    std::vector<int> to_close;
+    for (auto &[fd, client] : clients) {
+        while (!client.outbuf.empty()) {
+            const ssize_t sent =
+                send(fd, client.outbuf.data(),
+                     client.outbuf.size(), MSG_NOSIGNAL);
+            if (sent > 0) {
+                client.outbuf.erase(
+                    0, static_cast<std::size_t>(sent));
+                continue;
+            }
+            if (sent < 0 &&
+                (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            to_close.push_back(fd);
+            client.outbuf.clear();
+            break;
+        }
+        if (client.closing && client.outbuf.empty())
+            to_close.push_back(fd);
+    }
+    for (int fd : to_close)
+        closeClient(fd);
+}
+
+void
+Dispatcher::closeClient(int fd)
+{
+    clients.erase(fd);
+    close(fd);
+    // Orphan this client's tickets; running executions continue
+    // (their results still warm the store).
+    for (auto it = tickets.begin(); it != tickets.end();) {
+        if (it->second.fd == fd)
+            it = tickets.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Dispatcher::shutdownWorkers()
+{
+    for (Worker &worker : workers) {
+        if (worker.channel != nullptr)
+            worker.channel->stop.store(
+                true, std::memory_order_release);
+    }
+    for (Worker &worker : workers) {
+        if (!worker.alive)
+            continue;
+        // Give the worker one beat to exit cleanly, then insist.
+        int status = 0;
+        for (int i = 0; i < 50; ++i) {
+            if (waitpid(worker.pid, &status, WNOHANG) == worker.pid) {
+                worker.alive = false;
+                break;
+            }
+            struct timespec ts = {0, 10000000L}; // 10ms
+            nanosleep(&ts, nullptr);
+        }
+        if (worker.alive) {
+            kill(worker.pid, SIGKILL);
+            waitpid(worker.pid, &status, 0);
+            worker.alive = false;
+        }
+    }
+    for (Worker &worker : workers) {
+        unmapWorkerChannel(worker.channel);
+        worker.channel = nullptr;
+    }
+    workers.clear();
+}
+
+} // namespace serve
+} // namespace nosq

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * nosq_sweepd's single-threaded core: the Unix-domain-socket event
+ * loop, the forked worker pool, and the dedup/dispatch state
+ * machine.
+ *
+ * One poll() loop owns everything -- no threads, no locks beyond
+ * the SPSC rings' atomics. Each iteration: accept/read clients,
+ * parse complete request lines, drain worker result rings, reap
+ * dead workers (exit + heartbeat timeout) and requeue their
+ * in-flight jobs, feed pending jobs to idle workers, flush client
+ * output buffers.
+ *
+ * Dedup semantics (the daemon's whole point): a submitted job's
+ * fingerprint is looked up first in the persistent store (hit:
+ * streamed back instantly, `cached`), then in the running-execution
+ * table (hit: this client becomes another waiter on the same
+ * execution, `shared`); only a miss on both spawns a new execution.
+ * Completed executions are persisted before delivery, so a daemon
+ * restart serves them from the warm store.
+ *
+ * Failure model: a worker that exits or is SIGKILLed is detected by
+ * waitpid(); one whose heartbeat stops advancing (wedged inside a
+ * job) is SIGKILLed after --heartbeat-timeout. Either way its
+ * in-flight jobs are requeued at the FRONT of the pending queue
+ * (oldest work first) and a replacement worker is forked, so a
+ * sweep always completes on the surviving pool.
+ */
+
+#ifndef NOSQ_SERVE_DISPATCHER_HH
+#define NOSQ_SERVE_DISPATCHER_HH
+
+#include <csignal>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/job_store.hh"
+#include "serve/protocol.hh"
+#include "serve/spsc_ring.hh"
+
+namespace nosq {
+namespace serve {
+
+struct DispatcherOptions
+{
+    std::string socketPath;
+    std::string storePath;
+    /** Worker processes; 0 uses defaultSweepWorkers(). */
+    unsigned workers = 0;
+    /** Seconds without heartbeat progress before a worker is
+     * presumed wedged and SIGKILLed. Must exceed the longest single
+     * job; raise it for full-length sweeps. */
+    unsigned heartbeatTimeoutSec = 300;
+    /** Loop-stop flag, typically set by SIGTERM/SIGINT handlers. */
+    const volatile std::sig_atomic_t *stopFlag = nullptr;
+};
+
+class Dispatcher
+{
+  public:
+    explicit Dispatcher(DispatcherOptions options);
+    ~Dispatcher();
+    Dispatcher(const Dispatcher &) = delete;
+    Dispatcher &operator=(const Dispatcher &) = delete;
+
+    /** Open the store, bind the socket, fork the workers.
+     * @return false with @p error set on any failure */
+    bool init(std::string &error);
+
+    /** Serve until the stop flag is raised. @return exit code */
+    int run();
+
+  private:
+    struct Client
+    {
+        std::string inbuf;
+        std::string outbuf;
+        /** Close once outbuf drains (protocol error). */
+        bool closing = false;
+    };
+
+    struct Waiter
+    {
+        int fd = -1;
+        std::string ticket;
+        std::size_t index = 0;
+    };
+
+    /** One deduplicated job execution, keyed by fingerprint. */
+    struct Exec
+    {
+        SweepJob job;
+        std::vector<Waiter> waiters;
+        int worker = -1;        ///< index; -1 while pending
+        std::uint64_t id = 0;   ///< wire frame id once dispatched
+    };
+
+    struct Ticket
+    {
+        int fd = -1;
+        std::size_t jobs = 0;
+        std::size_t delivered = 0;
+    };
+
+    struct Worker
+    {
+        pid_t pid = -1;
+        WorkerChannel *channel = nullptr;
+        std::uint64_t lastBeat = 0;
+        std::uint64_t lastBeatAtMs = 0;
+        std::vector<std::uint64_t> inflight;
+        bool alive = false;
+    };
+
+    bool spawnWorker(std::size_t slot, std::string &error);
+    void acceptClients();
+    void readClient(int fd);
+    void handleLine(int fd, const std::string &line);
+    void handleSubmit(int fd, const Request &request);
+    void handleStatus(int fd);
+    void handleResults(int fd, const Request &request);
+    void handleCancel(int fd, const Request &request);
+    void drainResults();
+    void reapWorkers();
+    void checkHeartbeats();
+    void requeueWorkerJobs(std::size_t slot);
+    void feedWorkers();
+    void deliver(const std::string &fp, const RunResult *run,
+                 const std::string &error_message);
+    void flushClients();
+    void closeClient(int fd);
+    void shutdownWorkers();
+    std::uint64_t nowMs() const;
+
+    DispatcherOptions opts;
+    JobStore store;
+    int listen_fd = -1;
+    std::map<int, Client> clients;
+    std::vector<Worker> workers;
+    std::unordered_map<std::string, Exec> execs;
+    std::unordered_map<std::uint64_t, std::string> id_to_fp;
+    std::deque<std::string> pending;
+    std::unordered_map<std::string, Ticket> tickets;
+    std::uint64_t ticket_seq = 0;
+    std::uint64_t exec_seq = 0;
+
+    // --- stats (the status reply) ------------------------------------
+    std::uint64_t stat_executed = 0;
+    std::uint64_t stat_cache_hits = 0;
+    std::uint64_t stat_dedup_shared = 0;
+    std::uint64_t stat_worker_deaths = 0;
+    std::uint64_t stat_requeued = 0;
+    std::uint64_t stat_failed = 0;
+};
+
+} // namespace serve
+} // namespace nosq
+
+#endif // NOSQ_SERVE_DISPATCHER_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * JobStore implementation (see job_store.hh).
+ */
+
+#include "serve/job_store.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "sim/journal.hh"
+#include "sim/report.hh"
+
+namespace nosq {
+namespace serve {
+
+namespace {
+
+constexpr const char *store_schema = "nosq-store-v1";
+
+std::string
+headerLine()
+{
+    return std::string("{\"schema\":\"") + store_schema + "\"}\n";
+}
+
+std::string
+recordLine(const std::string &fp, const RunResult &run)
+{
+    return "{\"fp\":\"" + jsonEscape(fp) +
+           "\",\"run\":" + runResultJsonLine(run) + "}\n";
+}
+
+} // anonymous namespace
+
+JobStore::~JobStore()
+{
+    if (file != nullptr)
+        std::fclose(file);
+}
+
+bool
+JobStore::open(const std::string &path, std::string &error)
+{
+    file_path = path;
+    results.clear();
+    warns.clear();
+
+    // Salvage pass: accept a clean prefix, skip bad records, stop at
+    // a torn final line.
+    std::string text;
+    if (std::FILE *in = std::fopen(path.c_str(), "rb")) {
+        char buffer[1 << 16];
+        std::size_t got;
+        while ((got = std::fread(buffer, 1, sizeof(buffer), in)) >
+               0)
+            text.append(buffer, got);
+        std::fclose(in);
+    }
+    if (!text.empty()) {
+        std::size_t pos = 0, line_no = 0;
+        bool header_ok = false;
+        while (pos < text.size()) {
+            const std::size_t nl = text.find('\n', pos);
+            if (nl == std::string::npos) {
+                warns.push_back("store: dropped torn final line");
+                break;
+            }
+            const std::string line = text.substr(pos, nl - pos);
+            pos = nl + 1;
+            ++line_no;
+            JsonValue v;
+            if (!parseJson(line, v, nullptr)) {
+                warns.push_back("store: skipped malformed line " +
+                                std::to_string(line_no));
+                continue;
+            }
+            if (line_no == 1) {
+                const JsonValue *schema = v.find("schema");
+                if (schema == nullptr ||
+                    schema->kind != JsonValue::Kind::String ||
+                    schema->string != store_schema) {
+                    warns.push_back(
+                        "store: wrong or missing schema header; "
+                        "starting fresh");
+                    break;
+                }
+                header_ok = true;
+                continue;
+            }
+            if (!header_ok)
+                break;
+            const JsonValue *fp = v.find("fp");
+            const JsonValue *run = v.find("run");
+            RunResult result;
+            if (fp == nullptr ||
+                fp->kind != JsonValue::Kind::String ||
+                fp->string.empty() || run == nullptr ||
+                !runResultFromJson(*run, result)) {
+                warns.push_back("store: skipped invalid record at "
+                                "line " +
+                                std::to_string(line_no));
+                continue;
+            }
+            if (!results.emplace(fp->string, std::move(result))
+                     .second)
+                warns.push_back(
+                    "store: skipped duplicate fingerprint " +
+                    fp->string);
+        }
+    }
+
+    // Compact: header + salvaged records via tmp + rename, so the
+    // live file is clean before new appends.
+    const std::string tmp = path + ".tmp";
+    std::FILE *out = std::fopen(tmp.c_str(), "wb");
+    if (out == nullptr) {
+        error = "store: cannot write '" + tmp +
+                "': " + std::strerror(errno);
+        return false;
+    }
+    std::string contents = headerLine();
+    for (const auto &[fp, run] : results)
+        contents += recordLine(fp, run);
+    const bool wrote =
+        std::fwrite(contents.data(), 1, contents.size(), out) ==
+            contents.size() &&
+        std::fflush(out) == 0 && fsync(fileno(out)) == 0;
+    std::fclose(out);
+    if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        error = "store: cannot replace '" + path +
+                "': " + std::strerror(errno);
+        return false;
+    }
+
+    file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr) {
+        error = "store: cannot append to '" + path +
+                "': " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+JobStore::has(const std::string &fp) const
+{
+    return results.find(fp) != results.end();
+}
+
+const RunResult &
+JobStore::get(const std::string &fp) const
+{
+    return results.at(fp);
+}
+
+void
+JobStore::put(const std::string &fp, const RunResult &run)
+{
+    if (!run.valid)
+        return;
+    if (!results.emplace(fp, run).second)
+        return;
+    if (file == nullptr)
+        return;
+    const std::string line = recordLine(fp, run);
+    if (std::fwrite(line.data(), 1, line.size(), file) !=
+            line.size() ||
+        std::fflush(file) != 0) {
+        warns.push_back("store: append failed: " +
+                        std::string(std::strerror(errno)) +
+                        " (serving continues unpersisted)");
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+} // namespace serve
+} // namespace nosq

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The daemon's persistent fingerprint -> result store.
+ *
+ * One JSONL file ("nosq-store-v1"), append-only while serving,
+ * compacted on load: the warm cache behind nosq_sweepd. Records are
+ * in the sweep journal's exact record shape ({"fp": ..., "run":
+ * {...}}, via runResultJsonLine()/runResultFromJson() from
+ * sim/journal.hh), so a store entry round-trips bit-identically and
+ * anything that can read a journal can read a store.
+ *
+ * Durability discipline mirrors the journal: every put() is
+ * flushed to the OS immediately, so a SIGKILLed daemon loses at
+ * most an in-flight record; load() salvages a clean prefix past a
+ * torn final line (each record is validated individually, bad ones
+ * skipped with a warning) and rewrites the file compacted via
+ * tmp + rename.
+ */
+
+#ifndef NOSQ_SERVE_JOB_STORE_HH
+#define NOSQ_SERVE_JOB_STORE_HH
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace nosq {
+namespace serve {
+
+class JobStore
+{
+  public:
+    JobStore() = default;
+    ~JobStore();
+    JobStore(const JobStore &) = delete;
+    JobStore &operator=(const JobStore &) = delete;
+
+    /**
+     * Open (creating if missing) the store at @p path, salvage its
+     * records, compact, and keep the file open for appends.
+     * Salvage diagnostics land in warnings().
+     * @return false with @p error set when the path is unusable
+     */
+    bool open(const std::string &path, std::string &error);
+
+    /** True when @p fp has a stored result. */
+    bool has(const std::string &fp) const;
+
+    /** The stored result for @p fp (has() must be true). */
+    const RunResult &get(const std::string &fp) const;
+
+    /**
+     * Record @p run under @p fp and flush it to the OS. Invalid
+     * results are not persisted (a failed job must re-run, exactly
+     * as the sweep journal refuses them). Duplicate fingerprints
+     * keep the first record.
+     */
+    void put(const std::string &fp, const RunResult &run);
+
+    std::size_t
+    size() const
+    {
+        return results.size();
+    }
+
+    const std::vector<std::string> &
+    warnings() const
+    {
+        return warns;
+    }
+
+    const std::string &
+    path() const
+    {
+        return file_path;
+    }
+
+  private:
+    std::string file_path;
+    std::FILE *file = nullptr;
+    std::unordered_map<std::string, RunResult> results;
+    std::vector<std::string> warns;
+};
+
+} // namespace serve
+} // namespace nosq
+
+#endif // NOSQ_SERVE_JOB_STORE_HH

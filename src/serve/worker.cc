@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sweep worker process body (see worker.hh).
+ */
+
+#include "serve/worker.hh"
+
+#include <exception>
+#include <string>
+
+#include <time.h>
+
+#include "serve/protocol.hh"
+#include "sim/journal.hh"
+#include "sim/sweep.hh"
+
+namespace nosq {
+namespace serve {
+
+namespace {
+
+void
+napMillis(long ms)
+{
+    struct timespec ts;
+    ts.tv_sec = ms / 1000;
+    ts.tv_nsec = (ms % 1000) * 1000000L;
+    nanosleep(&ts, nullptr);
+}
+
+} // anonymous namespace
+
+int
+workerMain(WorkerChannel *channel)
+{
+    std::string line;
+    while (!channel->stop.load(std::memory_order_acquire)) {
+        channel->heartbeat.fetch_add(1,
+                                     std::memory_order_relaxed);
+        if (!channel->jobs.tryPop(line)) {
+            napMillis(2);
+            continue;
+        }
+
+        std::uint64_t id = 0;
+        SweepJob job;
+        std::string error;
+        if (!parseWorkerJobLine(line, id, job, error)) {
+            // The daemon never produces a malformed frame; seeing
+            // one means this ring is not trustworthy. Exit and let
+            // the daemon respawn a clean worker.
+            return 2;
+        }
+        const std::string fp = jobFingerprint(job);
+
+        std::string reply;
+        try {
+            const RunResult run = runSweepJob(job);
+            reply = workerResultLine(id, fp, run);
+        } catch (const std::exception &e) {
+            reply = workerErrorLine(id, fp, e.what());
+        } catch (...) {
+            reply = workerErrorLine(id, fp, "unknown error");
+        }
+
+        // A full result ring only means the daemon has not drained
+        // yet; keep the heartbeat moving while waiting.
+        while (!channel->results.tryPush(reply)) {
+            if (channel->stop.load(std::memory_order_acquire))
+                return 0;
+            channel->heartbeat.fetch_add(
+                1, std::memory_order_relaxed);
+            napMillis(2);
+        }
+    }
+    return 0;
+}
+
+} // namespace serve
+} // namespace nosq

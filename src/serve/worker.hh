@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The forked sweep worker: pops jobs off its shared-memory channel,
+ * runs them through the engine's own runSweepJob() path, and pushes
+ * the results back. See dispatcher.hh for the parent side.
+ */
+
+#ifndef NOSQ_SERVE_WORKER_HH
+#define NOSQ_SERVE_WORKER_HH
+
+#include "serve/spsc_ring.hh"
+
+namespace nosq {
+namespace serve {
+
+/**
+ * Run the worker loop until @p channel->stop is set. Never throws:
+ * a job that throws becomes a worker error frame; a malformed job
+ * frame (the daemon never sends one) makes the worker exit nonzero
+ * so the daemon respawns it.
+ * @return the process exit code
+ */
+int workerMain(WorkerChannel *channel);
+
+} // namespace serve
+} // namespace nosq
+
+#endif // NOSQ_SERVE_WORKER_HH

@@ -32,92 +32,25 @@ constexpr const char *journal_schema = "nosq-journal-v1";
 void
 hashParams(Fnv &fnv, const UarchParams &p)
 {
-    fnv.field("mode", static_cast<std::uint64_t>(p.mode));
-    fnv.field("delay", p.nosqDelay);
-    fnv.field("svw", p.svwFilter);
-    fnv.field("fetchW", p.fetchWidth);
-    fnv.field("renameW", p.renameWidth);
-    fnv.field("issueW", p.issueWidth);
-    fnv.field("commitW", p.commitWidth);
-    fnv.field("maxBr", p.maxBranchesPerCycle);
-    fnv.field("rob", p.robSize);
-    fnv.field("iq", p.iqSize);
-    fnv.field("lq", p.lqSize);
-    fnv.field("sq", p.sqSize);
-    fnv.field("regs", p.numPhysRegs);
-    fnv.field("fbuf", p.fetchBufferSize);
-    fnv.field("isSimple", p.issueSimple);
-    fnv.field("isComplex", p.issueComplex);
-    fnv.field("isBranch", p.issueBranch);
-    fnv.field("isLoad", p.issueLoad);
-    fnv.field("isStore", p.issueStore);
-    fnv.field("f2r", p.fetchToRename);
-    fnv.field("i2e", p.issueToExec);
-    fnv.field("beDepth", p.backendDepth);
-    fnv.field("beDepthN", p.backendDepthNosq);
-    fnv.field("br.tab", p.branch.tableEntries);
-    fnv.field("br.hist", p.branch.historyBits);
-    fnv.field("br.btb", p.branch.btbEntries);
-    fnv.field("br.btbA", p.branch.btbAssoc);
-    fnv.field("br.ras", p.branch.rasEntries);
-    fnv.field("bp.ent", p.bypass.entriesPerTable);
-    fnv.field("bp.assoc", p.bypass.assoc);
-    fnv.field("bp.hist", p.bypass.historyBits);
-    fnv.field("bp.dist", p.bypass.maxDistance);
-    fnv.field("bp.cBits", p.bypass.confBits);
-    fnv.field("bp.cInit", p.bypass.confInit);
-    fnv.field("bp.cThr", p.bypass.confThreshold);
-    fnv.field("bp.cDec", p.bypass.confDec);
-    fnv.field("bp.cInc", p.bypass.confInc);
-    fnv.field("bp.inf", p.bypass.unbounded);
-    fnv.field("ss.ssit", p.storeSets.ssitEntries);
-    fnv.field("ss.lfst", p.storeSets.lfstEntries);
-    fnv.field("ss.clear", p.storeSets.cyclicClearInterval);
-    fnv.field("tssbf.ent", p.tssbf.entries);
-    fnv.field("tssbf.assoc", p.tssbf.assoc);
-    for (const auto &[tag, c] :
-         {std::pair<const char *, const CacheParams &>
-              {"l1i", p.memsys.l1i},
-          {"l1d", p.memsys.l1d},
-          {"l2", p.memsys.l2}}) {
-        fnv.field((std::string(tag) + ".size").c_str(), c.sizeBytes);
-        fnv.field((std::string(tag) + ".assoc").c_str(), c.assoc);
-        fnv.field((std::string(tag) + ".line").c_str(), c.lineBytes);
-        fnv.field((std::string(tag) + ".lat").c_str(), c.hitLatency);
-    }
-    for (const auto &[tag, t] :
-         {std::pair<const char *, const TlbParams &>
-              {"itlb", p.memsys.itlb},
-          {"dtlb", p.memsys.dtlb}}) {
-        fnv.field((std::string(tag) + ".ent").c_str(), t.entries);
-        fnv.field((std::string(tag) + ".assoc").c_str(), t.assoc);
-        fnv.field((std::string(tag) + ".page").c_str(), t.pageBits);
-        fnv.field((std::string(tag) + ".miss").c_str(),
-                  t.missLatency);
-    }
-    fnv.field("mem.lat", p.memsys.memoryLatency);
-    fnv.field("mem.bus", p.memsys.busTransfer);
-    fnv.field("mem.mshrs", p.memsys.mshrs);
-    fnv.field("mem.mshrT", p.memsys.mshrTargets);
-    fnv.field("mem.busOcc", p.memsys.busContention);
-    fnv.field("mem.prefD", p.memsys.prefetchDegree);
-    fnv.field("mem.prefS", p.memsys.prefetchStreams);
-    fnv.field("mem.cohC2c", p.memsys.cohC2cLatency);
-    fnv.field("mem.cohUpg", p.memsys.cohUpgradeLatency);
-    fnv.field("ssnWrap", p.ssnWrapPeriod);
-    // eventSkip never changes statistics, but it is part of the
-    // params tuple and a --no-skip A/B study must not share journal
-    // records with the default configuration.
-    fnv.field("evSkip", p.eventSkip);
+    // forEachUarchField owns the key names and the visit order, and
+    // both are persisted in journal fingerprints: its contract (keys
+    // stable, new fields appended) is what keeps old journals
+    // resumable. The serve wire form iterates the same enumeration,
+    // so a daemon-side fingerprint can never disagree with ours.
+    forEachUarchField(p, [&fnv](const char *key, const auto &v) {
+        fnv.field(key, static_cast<std::uint64_t>(v));
+    });
 }
 
-// --- one-line record (de)serialization -------------------------------------
+} // anonymous namespace
 
-/** toJson(RunResult) flattened to a single JSONL-safe line: the
- * emitter's newlines only ever separate tokens, never live inside a
- * string (strings escape control characters). */
+// --- one-line record (de)serialization -------------------------------------
+//
+// Public (journal.hh): the serving layer persists and transports
+// results in this exact record shape.
+
 std::string
-runLine(const RunResult &run)
+runResultJsonLine(const RunResult &run)
 {
     std::string json = toJson(run);
     json.erase(std::remove(json.begin(), json.end(), '\n'),
@@ -126,14 +59,11 @@ runLine(const RunResult &run)
 }
 
 /**
- * A JSON number that is exactly one of the emitter's integer
- * counters: integral, non-negative, and within the double-exact
- * range. Anything else (a corrupt "-1", "1e300", "123.5") fails so
- * the record is skipped and its job re-runs -- never an undefined
- * or silently truncating cast.
+ * Rejects a corrupt "-1", "1e300", or "123.5" so the record is
+ * skipped and its job re-runs.
  */
 bool
-asExactCounter(const JsonValue &v, std::uint64_t &out)
+jsonExactCounter(const JsonValue &v, std::uint64_t &out)
 {
     if (v.kind != JsonValue::Kind::Number)
         return false;
@@ -148,7 +78,7 @@ asExactCounter(const JsonValue &v, std::uint64_t &out)
     return true;
 }
 
-bool
+static bool
 suiteFromName(const std::string &name, Suite &out)
 {
     for (const Suite s : {Suite::Media, Suite::Int, Suite::Fp}) {
@@ -161,15 +91,13 @@ suiteFromName(const std::string &name, Suite &out)
 }
 
 /**
- * Rebuild a RunResult from a parsed record's "run" object. The
- * counters are exact: they were emitted via std::to_string and stay
- * integral through the parser's double (all simulator counters are
- * far below 2^53). The derived "ipc" member is ignored -- SimResult
- * recomputes it.
- * @return false on any shape violation
+ * The counters are exact: they were emitted via std::to_string and
+ * stay integral through the parser's double (all simulator counters
+ * are far below 2^53). The derived "ipc" member is ignored --
+ * SimResult recomputes it.
  */
 bool
-runFromJson(const JsonValue &v, RunResult &out)
+runResultFromJson(const JsonValue &v, RunResult &out)
 {
     if (v.kind != JsonValue::Kind::Object)
         return false;
@@ -205,7 +133,7 @@ runFromJson(const JsonValue &v, RunResult &out)
     forEachSimCounter(out.sim, [&](const char *key,
                                    std::uint64_t &slot) {
         const JsonValue *field = stats->find(key);
-        if (field == nullptr || !asExactCounter(*field, slot))
+        if (field == nullptr || !jsonExactCounter(*field, slot))
             ok = false;
     });
     if (!ok)
@@ -222,8 +150,8 @@ runFromJson(const JsonValue &v, RunResult &out)
         const JsonValue *mean = stats->find("sample_ipc_mean");
         const JsonValue *ci = stats->find("sample_ipc_ci95");
         if (ff == nullptr || mean == nullptr || ci == nullptr ||
-            !asExactCounter(*intervals, out.sim.sampleIntervals) ||
-            !asExactCounter(*ff, out.sim.sampleFfInsts) ||
+            !jsonExactCounter(*intervals, out.sim.sampleIntervals) ||
+            !jsonExactCounter(*ff, out.sim.sampleFfInsts) ||
             mean->kind != JsonValue::Kind::Number ||
             ci->kind != JsonValue::Kind::Number)
             return false;
@@ -239,7 +167,7 @@ runFromJson(const JsonValue &v, RunResult &out)
     const JsonValue *cores = stats->find("cores");
     if (cores != nullptr) {
         std::uint64_t n = 0;
-        if (!asExactCounter(*cores, n) || n == 0)
+        if (!jsonExactCounter(*cores, n) || n == 0)
             return false;
         out.sim.multicore = true;
         out.sim.numCores = n;
@@ -248,7 +176,7 @@ runFromJson(const JsonValue &v, RunResult &out)
             out.sim, [&](const char *key, std::uint64_t &slot) {
                 const JsonValue *field = stats->find(key);
                 if (field == nullptr ||
-                    !asExactCounter(*field, slot))
+                    !jsonExactCounter(*field, slot))
                     coh_ok = false;
             });
         if (!coh_ok)
@@ -263,7 +191,7 @@ runFromJson(const JsonValue &v, RunResult &out)
                     const JsonValue *field =
                         stats->find(prefix + key);
                     if (field == nullptr ||
-                        !asExactCounter(*field, slot))
+                        !jsonExactCounter(*field, slot))
                         coh_ok = false;
                 });
         }
@@ -272,6 +200,8 @@ runFromJson(const JsonValue &v, RunResult &out)
     }
     return true;
 }
+
+namespace {
 
 std::string
 headerLine(const std::string &spec, std::size_t jobs)
@@ -285,7 +215,7 @@ std::string
 recordLine(const std::string &fingerprint, const RunResult &run)
 {
     return "{\"fp\": \"" + fingerprint + "\", \"run\": " +
-        runLine(run) + "}";
+        runResultJsonLine(run) + "}";
 }
 
 /** Split @p text into lines; a final unterminated fragment (the
@@ -604,7 +534,7 @@ SweepJournal::bind(const std::vector<SweepJob> &jobs)
             if (fp == nullptr ||
                 fp->kind != JsonValue::Kind::String ||
                 run_json == nullptr ||
-                !runFromJson(*run_json, run)) {
+                !runResultFromJson(*run_json, run)) {
                 warns.push_back(where + " is malformed; skipping "
                                 "it");
                 continue;

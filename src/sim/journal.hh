@@ -48,6 +48,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/report.hh"
 #include "sim/sweep.hh"
 
 namespace nosq {
@@ -64,6 +65,38 @@ std::string jobFingerprint(const SweepJob &job);
 
 /** Fingerprint of a whole job list (count + every job fingerprint). */
 std::string sweepFingerprint(const std::vector<SweepJob> &jobs);
+
+// --- record (de)serialization seams -----------------------------------------
+//
+// The serving layer (src/serve/) persists and transports completed
+// RunResults in exactly the journal's record shape, so a daemon's
+// store and a sweep journal stay mutually intelligible. These are
+// the journal's own record helpers, exported.
+
+/**
+ * toJson(RunResult) flattened to one JSONL-safe line. The emitter's
+ * newlines only ever separate tokens (strings escape control
+ * characters), so erasing them cannot corrupt a value.
+ */
+std::string runResultJsonLine(const RunResult &run);
+
+/**
+ * Rebuild a RunResult from a parsed record "run" object: the inverse
+ * of runResultJsonLine(). Counters are exact (integral and below
+ * 2^53 through the parser's double) and the sampled/multicore
+ * summaries round-trip bit-identically, so a restored result is
+ * indistinguishable from the freshly computed one.
+ * @return false on any shape violation
+ */
+bool runResultFromJson(const JsonValue &v, RunResult &out);
+
+/**
+ * A JSON number that is exactly one of the emitter's integer
+ * counters: integral, non-negative, and strictly below 2^53 (the
+ * double-exact range). Anything else fails -- never an undefined or
+ * silently truncating cast.
+ */
+bool jsonExactCounter(const JsonValue &v, std::uint64_t &out);
 
 /**
  * Unresumable-journal error: the journal belongs to a different
@@ -118,6 +151,16 @@ class SweepJournal
      *         a different sweep, or the file cannot be (re)written
      */
     void bind(const std::vector<SweepJob> &jobs);
+
+    /** True once bind() has run. runSweep() binds lazily, so a
+     * caller that wants the resume summary (doneCount etc.) before
+     * the sweep starts can bind() first; the engine then skips its
+     * own bind instead of tripping the bound-twice assertion. */
+    bool
+    isBound() const
+    {
+        return bound;
+    }
 
     /** Salvage/skip diagnostics accumulated by bind(). */
     const std::vector<std::string> &

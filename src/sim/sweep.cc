@@ -376,15 +376,13 @@ SweepError::SweepError(std::vector<Failure> failures_,
 {
 }
 
-namespace {
-
 /**
  * Run one job. All simulation state (workload RNG, core, caches,
  * predictors) is constructed here from the job tuple alone, which is
  * what makes worker count and claim order irrelevant to the result.
  */
 RunResult
-runOne(const SweepJob &job)
+runSweepJob(const SweepJob &job)
 {
     RunResult result;
     result.benchmark = job.profile ? job.profile->name
@@ -432,6 +430,8 @@ runOne(const SweepJob &job)
         : core.run(job.insts, job.warmup);
     return result;
 }
+
+namespace {
 
 /**
  * Failure-isolation tracker shared by the serial and parallel
@@ -481,13 +481,13 @@ failedResult(const SweepJob &job)
     return result;
 }
 
-/** runOne() with the per-job exception guard. */
+/** runSweepJob() with the per-job exception guard. */
 void
 runGuarded(const SweepJob &job, std::size_t index, RunResult &result,
            FailureLog &log)
 {
     try {
-        result = runOne(job);
+        result = runSweepJob(job);
     } catch (const std::exception &e) {
         log.record(index, e.what());
         result = failedResult(job);
@@ -509,8 +509,10 @@ runSweepImpl(const std::vector<SweepJob> &jobs,
 {
     std::vector<RunResult> results(jobs.size());
     // Bind even an empty job list, so the journal file exists (with
-    // a verifiable spec header) whenever the caller asked for one.
-    if (journal != nullptr)
+    // a verifiable spec header) whenever the caller asked for one. A
+    // caller that already bound (to print the resume summary before
+    // running) is honoured as-is.
+    if (journal != nullptr && !journal->isBound())
         journal->bind(jobs);
     if (jobs.empty())
         return results;

@@ -340,6 +340,20 @@ using SweepProgress =
 /** Worker count from NOSQ_JOBS, else hardware concurrency. */
 unsigned defaultSweepWorkers();
 
+/**
+ * Run one job synchronously on the calling thread: the unit of work
+ * behind runSweep()'s worker pool, exported so out-of-process
+ * executors (the nosq_sweepd worker, src/serve/worker.cc) run the
+ * exact code path a local sweep would. All simulation state is
+ * constructed from the job tuple alone (the determinism contract),
+ * so a result computed here is bit-identical to the same job run by
+ * runSweep() in any process.
+ *
+ * Exceptions from the simulation propagate (runSweep() adds the
+ * per-job isolation guard; remote executors add their own).
+ */
+RunResult runSweepJob(const SweepJob &job);
+
 class SweepJournal;
 
 /**

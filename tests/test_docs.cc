@@ -112,36 +112,58 @@ TEST(Docs, CounterGlossaryCoversEveryCounter)
         << "multicore 'cores' key missing from docs/counters.md";
 }
 
-TEST(Docs, CliReferenceMatchesHelpOutput)
+/** The flag set a binary advertises via `--help`. */
+std::set<std::string>
+helpFlags(const std::string &binary)
 {
-    const std::string cmd = std::string(NOSQ_SIM_PATH) + " --help 2>&1";
+    const std::string cmd = binary + " --help 2>&1";
     FILE *pipe = popen(cmd.c_str(), "r");
-    ASSERT_NE(pipe, nullptr);
+    EXPECT_NE(pipe, nullptr);
+    if (pipe == nullptr)
+        return {};
     std::string help;
     char buf[4096];
     std::size_t n;
     while ((n = fread(buf, 1, sizeof buf, pipe)) > 0)
         help.append(buf, n);
-    ASSERT_EQ(pclose(pipe), 0) << "--help exited nonzero";
-    ASSERT_FALSE(help.empty());
+    EXPECT_EQ(pclose(pipe), 0)
+        << binary << " --help exited nonzero";
+    EXPECT_FALSE(help.empty());
+    return extractFlags(help);
+}
 
-    const std::set<std::string> help_flags = extractFlags(help);
-    ASSERT_FALSE(help_flags.empty());
+TEST(Docs, CliReferenceMatchesHelpOutput)
+{
+    // Both binaries' advertised flags, checked against docs/cli.md
+    // in BOTH directions so neither the help text nor the reference
+    // can drift.
+    const std::set<std::string> sim_flags =
+        helpFlags(NOSQ_SIM_PATH);
+    ASSERT_FALSE(sim_flags.empty());
+    const std::set<std::string> sweepd_flags =
+        helpFlags(NOSQ_SWEEPD_PATH);
+    ASSERT_FALSE(sweepd_flags.empty());
     const std::set<std::string> doc_flags =
         extractFlags(readFile(sourcePath("docs/cli.md")));
 
     // Every advertised flag is documented...
-    for (const std::string &flag : help_flags) {
+    for (const std::string &flag : sim_flags) {
         EXPECT_TRUE(doc_flags.count(flag))
-            << "flag '" << flag
+            << "nosq_sim flag '" << flag
             << "' is in --help but not docs/cli.md";
     }
-    // ...and every documented flag exists (--help itself is the one
-    // flag the help text doesn't list).
+    for (const std::string &flag : sweepd_flags) {
+        EXPECT_TRUE(doc_flags.count(flag))
+            << "nosq_sweepd flag '" << flag
+            << "' is in --help but not docs/cli.md";
+    }
+    // ...and every documented flag exists in one of the binaries
+    // (--help itself is the one flag the help text doesn't list).
     for (const std::string &flag : doc_flags) {
-        EXPECT_TRUE(help_flags.count(flag) || flag == "--help")
+        EXPECT_TRUE(sim_flags.count(flag) ||
+                    sweepd_flags.count(flag) || flag == "--help")
             << "flag '" << flag
-            << "' is in docs/cli.md but not --help";
+            << "' is in docs/cli.md but in neither --help";
     }
 }
 
@@ -149,7 +171,7 @@ TEST(Docs, MarkdownRelativeLinksResolve)
 {
     const std::vector<std::string> files = {
         "README.md", "ROADMAP.md", "docs/ARCHITECTURE.md",
-        "docs/counters.md", "docs/cli.md"};
+        "docs/counters.md", "docs/cli.md", "docs/SERVING.md"};
     for (const std::string &file : files) {
         const std::string text = readFile(sourcePath(file));
         const std::string dir =

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Unit tests for the serving layer's process plumbing: the SPSC
+ * shared-memory ring (wrap-around correctness, full-ring refusal,
+ * cross-thread ordering) and the daemon's persistent fingerprint
+ * store (round trip, salvage of every corruption class, duplicate
+ * and invalid-result policy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job_store.hh"
+#include "serve/spsc_ring.hh"
+#include "sim/journal.hh"
+#include "sim/report.hh"
+
+namespace nosq {
+namespace serve {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "nosq_serve_" + name + ".jsonl";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    ASSERT_TRUE(out.good());
+}
+
+RunResult
+sampleRun(unsigned i)
+{
+    RunResult run;
+    run.benchmark = "bench" + std::to_string(i);
+    run.suite = i % 2 ? Suite::Int : Suite::Media;
+    run.config = "cfg";
+    run.sim.cycles = 1000 + i;
+    run.sim.insts = 100 + i;
+    run.sim.loads = 10 + i;
+    run.sim.stores = 5 + i;
+    return run;
+}
+
+std::string
+fpOf(unsigned i)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016x", i + 1);
+    return buf;
+}
+
+// --- SpscRing ---------------------------------------------------------------
+
+TEST(SpscRing, PushPopRoundTrip)
+{
+    WorkerChannel *ch = mapWorkerChannel();
+    ASSERT_NE(ch, nullptr);
+
+    EXPECT_TRUE(ch->jobs.empty());
+    std::string out;
+    EXPECT_FALSE(ch->jobs.tryPop(out));
+
+    EXPECT_TRUE(ch->jobs.tryPush("hello"));
+    EXPECT_TRUE(ch->jobs.tryPush(std::string())); // empty message
+    EXPECT_TRUE(ch->jobs.tryPush(std::string(1000, 'x')));
+    EXPECT_FALSE(ch->jobs.empty());
+
+    ASSERT_TRUE(ch->jobs.tryPop(out));
+    EXPECT_EQ(out, "hello");
+    ASSERT_TRUE(ch->jobs.tryPop(out));
+    EXPECT_EQ(out, "");
+    ASSERT_TRUE(ch->jobs.tryPop(out));
+    EXPECT_EQ(out, std::string(1000, 'x'));
+    EXPECT_TRUE(ch->jobs.empty());
+
+    unmapWorkerChannel(ch);
+}
+
+TEST(SpscRing, RefusesWhatDoesNotFit)
+{
+    WorkerChannel *ch = mapWorkerChannel();
+    ASSERT_NE(ch, nullptr);
+    SpscRing &ring = ch->results;
+
+    // A message larger than the whole ring can never be accepted.
+    EXPECT_FALSE(ring.tryPush(std::string(SpscRing::capacity, 'x')));
+    EXPECT_TRUE(ring.empty());
+
+    // Fill until refusal, then drain one and the refused push fits.
+    const std::string chunk(4092, 'y'); // 4096 with header
+    std::size_t pushed = 0;
+    while (ring.tryPush(chunk))
+        ++pushed;
+    EXPECT_EQ(pushed, SpscRing::capacity / 4096);
+    EXPECT_FALSE(ring.tryPush(chunk));
+
+    std::string out;
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, chunk);
+    EXPECT_TRUE(ring.tryPush(chunk));
+
+    // Drain everything back out intact.
+    std::size_t popped = 0;
+    while (ring.tryPop(out)) {
+        EXPECT_EQ(out, chunk);
+        ++popped;
+    }
+    EXPECT_EQ(popped, pushed);
+
+    unmapWorkerChannel(ch);
+}
+
+TEST(SpscRing, MessagesStraddleTheWrapPoint)
+{
+    WorkerChannel *ch = mapWorkerChannel();
+    ASSERT_NE(ch, nullptr);
+    SpscRing &ring = ch->jobs;
+
+    // Interleave push/pop with a size that does not divide the
+    // capacity, forcing many copies across the wrap boundary.
+    std::string out;
+    for (unsigned i = 0; i < 3000; ++i) {
+        std::string msg(997, static_cast<char>('a' + i % 26));
+        msg += std::to_string(i);
+        ASSERT_TRUE(ring.tryPush(msg)) << i;
+        ASSERT_TRUE(ring.tryPop(out)) << i;
+        EXPECT_EQ(out, msg) << i;
+    }
+    EXPECT_TRUE(ring.empty());
+
+    unmapWorkerChannel(ch);
+}
+
+TEST(SpscRing, ThreadedProducerConsumerPreservesOrder)
+{
+    WorkerChannel *ch = mapWorkerChannel();
+    ASSERT_NE(ch, nullptr);
+    SpscRing &ring = ch->jobs;
+    constexpr unsigned count = 20000;
+
+    std::thread producer([&ring] {
+        for (unsigned i = 0; i < count; ++i) {
+            const std::string msg =
+                "m" + std::to_string(i) +
+                std::string(i % 200, '.');
+            while (!ring.tryPush(msg))
+                std::this_thread::yield();
+        }
+    });
+
+    unsigned seen = 0;
+    std::string out;
+    while (seen < count) {
+        if (!ring.tryPop(out)) {
+            std::this_thread::yield();
+            continue;
+        }
+        const std::string want =
+            "m" + std::to_string(seen) +
+            std::string(seen % 200, '.');
+        ASSERT_EQ(out, want) << "at message " << seen;
+        ++seen;
+    }
+    producer.join();
+    EXPECT_TRUE(ring.empty());
+
+    unmapWorkerChannel(ch);
+}
+
+// --- JobStore ---------------------------------------------------------------
+
+TEST(JobStore, PersistsAcrossReopen)
+{
+    const std::string path = tempPath("roundtrip");
+    std::remove(path.c_str());
+
+    {
+        JobStore store;
+        std::string error;
+        ASSERT_TRUE(store.open(path, error)) << error;
+        EXPECT_EQ(store.size(), 0u);
+        for (unsigned i = 0; i < 4; ++i)
+            store.put(fpOf(i), sampleRun(i));
+        EXPECT_EQ(store.size(), 4u);
+    }
+    {
+        JobStore store;
+        std::string error;
+        ASSERT_TRUE(store.open(path, error)) << error;
+        EXPECT_TRUE(store.warnings().empty());
+        ASSERT_EQ(store.size(), 4u);
+        for (unsigned i = 0; i < 4; ++i) {
+            ASSERT_TRUE(store.has(fpOf(i))) << i;
+            // Bit-identity witness: the journal line form.
+            EXPECT_EQ(runResultJsonLine(store.get(fpOf(i))),
+                      runResultJsonLine(sampleRun(i)))
+                << i;
+        }
+        EXPECT_FALSE(store.has("ffffffffffffffff"));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(JobStore, DuplicateAndInvalidPutsIgnored)
+{
+    const std::string path = tempPath("dups");
+    std::remove(path.c_str());
+
+    JobStore store;
+    std::string error;
+    ASSERT_TRUE(store.open(path, error)) << error;
+
+    store.put(fpOf(0), sampleRun(0));
+    // Duplicate fingerprint: first record wins (determinism says
+    // they would be identical anyway).
+    store.put(fpOf(0), sampleRun(9));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(runResultJsonLine(store.get(fpOf(0))),
+              runResultJsonLine(sampleRun(0)));
+
+    // Invalid (failed-job) results are never persisted or cached:
+    // a failed job must re-run.
+    RunResult failed = sampleRun(1);
+    failed.valid = false;
+    store.put(fpOf(1), failed);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_FALSE(store.has(fpOf(1)));
+
+    std::remove(path.c_str());
+}
+
+TEST(JobStore, SalvagesTornTailAndBadRecords)
+{
+    const std::string path = tempPath("salvage");
+    std::remove(path.c_str());
+
+    std::string contents;
+    {
+        JobStore store;
+        std::string error;
+        ASSERT_TRUE(store.open(path, error)) << error;
+        for (unsigned i = 0; i < 3; ++i)
+            store.put(fpOf(i), sampleRun(i));
+        contents = readFile(path);
+    }
+    ASSERT_FALSE(contents.empty());
+
+    // Inject a garbage record mid-file and tear the final line as a
+    // SIGKILL mid-append would.
+    const std::size_t second_line = contents.find('\n') + 1;
+    std::string corrupted = contents.substr(0, second_line);
+    corrupted += "{\"fp\":\"zz\",\"run\":{\"oops\":true}}\n";
+    corrupted += "not json at all\n";
+    corrupted += contents.substr(second_line);
+    corrupted.resize(corrupted.size() - 10); // torn tail
+
+    writeFile(path, corrupted);
+
+    JobStore store;
+    std::string error;
+    ASSERT_TRUE(store.open(path, error)) << error;
+    EXPECT_FALSE(store.warnings().empty());
+    // Records 0 and 1 survive; 2 lost its tail, garbage skipped.
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_TRUE(store.has(fpOf(0)));
+    EXPECT_TRUE(store.has(fpOf(1)));
+    EXPECT_FALSE(store.has(fpOf(2)));
+
+    // open() compacted: the file is now clean (header + 2 records)
+    // and a fresh open salvages nothing.
+    JobStore again;
+    ASSERT_TRUE(again.open(path, error)) << error;
+    EXPECT_TRUE(again.warnings().empty());
+    EXPECT_EQ(again.size(), 2u);
+
+    std::remove(path.c_str());
+}
+
+TEST(JobStore, WrongSchemaHeaderStartsFresh)
+{
+    const std::string path = tempPath("schema");
+    writeFile(path, "{\"schema\":\"nosq-store-v9\"}\n"
+                    "{\"fp\":\"aa\",\"run\":{}}\n");
+
+    JobStore store;
+    std::string error;
+    ASSERT_TRUE(store.open(path, error)) << error;
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_FALSE(store.warnings().empty());
+
+    // The fresh store is immediately usable.
+    store.put(fpOf(0), sampleRun(0));
+    EXPECT_EQ(store.size(), 1u);
+
+    std::remove(path.c_str());
+}
+
+TEST(JobStore, UnusablePathFails)
+{
+    JobStore store;
+    std::string error;
+    EXPECT_FALSE(
+        store.open("/no/such/directory/store.jsonl", error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace serve
+} // namespace nosq

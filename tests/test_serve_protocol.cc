@@ -1,0 +1,468 @@
+/**
+ * @file
+ * Tests for the nosq-serve-v1 wire protocol (src/serve/protocol.hh):
+ * job wire-form round trips preserve the journal fingerprint, the
+ * strict parser rejects every malformed-field class with a clean
+ * error, request/reply/worker-frame builders and parsers agree, and
+ * a deterministic truncation/mutation fuzz pass over real request
+ * lines never crashes or accepts garbage silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "sim/journal.hh"
+#include "sim/report.hh"
+#include "sim/sweep.hh"
+#include "workload/profiles.hh"
+
+namespace nosq {
+namespace serve {
+namespace {
+
+/** A representative profile job (the common sweep case). */
+SweepJob
+profileJob()
+{
+    SweepJob job;
+    job.profile = findProfile("gcc");
+    EXPECT_NE(job.profile, nullptr);
+    job.config = "nosq/w128";
+    job.seed = 7;
+    job.insts = 20000;
+    job.warmup = 5000;
+    return job;
+}
+
+/** A multicore kernel job (profile == nullptr, named workload). */
+SweepJob
+kernelJob()
+{
+    SweepJob job;
+    job.benchmark = "spsc-ring";
+    job.suite = Suite::Int;
+    job.config = "nosq/c2-d8";
+    job.cores = 2;
+    job.queueDepth = 8;
+    job.seed = 3;
+    job.insts = 30000;
+    job.warmup = 10000;
+    return job;
+}
+
+/** A memsys-labeled job with a tweaked hierarchy. */
+SweepJob
+memsysJob()
+{
+    SweepJob job = profileJob();
+    job.config = "nosq/l2-1M-lat10-mshr8";
+    job.memsysLabel = "l2-1M-lat10-mshr8";
+    job.params.memsys.l2.sizeBytes = 1u << 20;
+    job.params.memsys.mshrs = 8;
+    return job;
+}
+
+/** A sampled-simulation job (SMARTS schedule in the tuple). */
+SweepJob
+sampledJob()
+{
+    SweepJob job = profileJob();
+    job.sampling.enabled = true;
+    job.sampling.ffLength = 50000;
+    job.sampling.warmupLength = 2000;
+    job.sampling.interval = 1000;
+    job.sampling.intervals = 4;
+    job.sampling.seed = 11;
+    return job;
+}
+
+/** Serialize, reparse, rebuild; the fingerprint must survive. */
+void
+expectWireRoundTrip(const SweepJob &job, const char *what)
+{
+    std::string error;
+    const std::string wire = jobToWire(job, &error);
+    ASSERT_FALSE(wire.empty()) << what << ": " << error;
+
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(wire, doc, &error)) << what << ": " << error;
+
+    SweepJob rebuilt;
+    ASSERT_TRUE(jobFromWire(doc, rebuilt, error)) << what << ": "
+                                                  << error;
+    EXPECT_EQ(jobFingerprint(job), jobFingerprint(rebuilt)) << what;
+    EXPECT_EQ(job.config, rebuilt.config) << what;
+    EXPECT_EQ(job.memsysLabel, rebuilt.memsysLabel) << what;
+}
+
+TEST(ServeProtocol, JobWireRoundTripPreservesFingerprint)
+{
+    expectWireRoundTrip(profileJob(), "profile job");
+    expectWireRoundTrip(kernelJob(), "kernel job");
+    expectWireRoundTrip(memsysJob(), "memsys job");
+    expectWireRoundTrip(sampledJob(), "sampled job");
+}
+
+TEST(ServeProtocol, JobWireRoundTripCoversEveryParamsField)
+{
+    // Perturb every enumerated UarchParams field away from its
+    // default; any field the wire form dropped or misnamed would
+    // break the fingerprint match.
+    SweepJob job = profileJob();
+    std::uint64_t salt = 1;
+    forEachUarchField(job.params, [&salt](const char *,
+                                          auto &field) {
+        using FieldT = std::remove_reference_t<decltype(field)>;
+        field = static_cast<FieldT>(
+            static_cast<std::uint64_t>(field) + (salt++ % 2));
+    });
+    job.params.mode = LsuMode::Nosq; // keep the enum in range
+    expectWireRoundTrip(job, "perturbed params");
+}
+
+TEST(ServeProtocol, CustomRunnerJobsRejectedAtSerialization)
+{
+    SweepJob job = profileJob();
+    job.runner = [](const SweepJob &) { return SimResult(); };
+    job.runnerTag = "study";
+    std::string error;
+    EXPECT_TRUE(jobToWire(job, &error).empty());
+    EXPECT_NE(error.find("runner"), std::string::npos) << error;
+}
+
+TEST(ServeProtocol, UnknownWorkloadRejectedAtSerialization)
+{
+    SweepJob job;
+    job.benchmark = "no-such-kernel";
+    job.config = "cfg";
+    std::string error;
+    EXPECT_TRUE(jobToWire(job, &error).empty());
+    EXPECT_FALSE(error.empty());
+}
+
+/** One in-place textual mutation of a valid wire line. */
+std::string
+mutate(const std::string &wire, const std::string &from,
+       const std::string &to)
+{
+    const std::size_t at = wire.find(from);
+    EXPECT_NE(at, std::string::npos) << "mutation target '" << from
+                                     << "' not in wire form";
+    std::string out = wire;
+    out.replace(at, from.size(), to);
+    return out;
+}
+
+void
+expectWireRejected(const std::string &wire, const char *what)
+{
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(wire, doc, &error)) << what << ": "
+                                              << error;
+    SweepJob rebuilt;
+    EXPECT_FALSE(jobFromWire(doc, rebuilt, error)) << what;
+    EXPECT_FALSE(error.empty()) << what;
+}
+
+TEST(ServeProtocol, StrictParserRejectsBadJobFields)
+{
+    std::string error;
+    const std::string wire = jobToWire(kernelJob(), &error);
+    ASSERT_FALSE(wire.empty()) << error;
+
+    // Unknown workload name at the wire level.
+    expectWireRejected(
+        mutate(wire, "\"spsc-ring\"", "\"no-such-kernel\""),
+        "unknown benchmark");
+    // Out-of-range scalars.
+    expectWireRejected(mutate(wire, "\"cores\":2", "\"cores\":65"),
+                       "cores > 64");
+    expectWireRejected(mutate(wire, "\"cores\":2", "\"cores\":0"),
+                       "cores == 0");
+    expectWireRejected(
+        mutate(wire, "\"qdepth\":8", "\"qdepth\":5000"),
+        "qdepth > 4096");
+    // Non-integral counter.
+    expectWireRejected(mutate(wire, "\"seed\":3", "\"seed\":3.5"),
+                       "fractional seed");
+    expectWireRejected(mutate(wire, "\"seed\":3", "\"seed\":-3"),
+                       "negative seed");
+    // Unknown suite string.
+    expectWireRejected(
+        mutate(wire, "\"SPECint\"", "\"SPECweb\""), "bad suite");
+    // Missing required field.
+    expectWireRejected(mutate(wire, "\"seed\":3,", ""),
+                       "missing seed");
+    // LsuMode out of enum range.
+    expectWireRejected(mutate(wire, "\"mode\":", "\"mode\":99,\"x\":"),
+                       "mode out of range");
+}
+
+TEST(ServeProtocol, StrictParserRejectsUnknownParamsKey)
+{
+    std::string error;
+    const std::string wire = jobToWire(profileJob(), &error);
+    ASSERT_FALSE(wire.empty()) << error;
+    // An extra params key means the two ends disagree about
+    // UarchParams; half-applying it would silently change the
+    // fingerprinted tuple.
+    expectWireRejected(
+        mutate(wire, "\"svw\":", "\"not-a-field\":1,\"svw\":"),
+        "unknown params key");
+}
+
+TEST(ServeProtocol, SubmitRequestRoundTrip)
+{
+    const std::vector<SweepJob> jobs = {profileJob(), kernelJob(),
+                                        memsysJob(), sampledJob()};
+    std::string error;
+    const std::string line = submitRequestLine(jobs, &error);
+    ASSERT_FALSE(line.empty()) << error;
+    EXPECT_EQ(line.back(), '\n');
+
+    Request req;
+    ASSERT_TRUE(
+        parseRequestLine(line.substr(0, line.size() - 1), req,
+                         error))
+        << error;
+    EXPECT_EQ(req.op, Request::Op::Submit);
+    ASSERT_EQ(req.jobs.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobFingerprint(jobs[i]),
+                  jobFingerprint(req.jobs[i]))
+            << "job " << i;
+}
+
+TEST(ServeProtocol, SimpleRequestRoundTrips)
+{
+    Request req;
+    std::string error;
+
+    std::string line = statusRequestLine();
+    ASSERT_TRUE(parseRequestLine(line.substr(0, line.size() - 1),
+                                 req, error))
+        << error;
+    EXPECT_EQ(req.op, Request::Op::Status);
+
+    line = resultsRequestLine("0123456789abcdef");
+    ASSERT_TRUE(parseRequestLine(line.substr(0, line.size() - 1),
+                                 req, error))
+        << error;
+    EXPECT_EQ(req.op, Request::Op::Results);
+    EXPECT_EQ(req.fp, "0123456789abcdef");
+
+    line = cancelRequestLine("t42");
+    ASSERT_TRUE(parseRequestLine(line.substr(0, line.size() - 1),
+                                 req, error))
+        << error;
+    EXPECT_EQ(req.op, Request::Op::Cancel);
+    EXPECT_EQ(req.ticket, "t42");
+}
+
+TEST(ServeProtocol, MalformedRequestsFailCleanly)
+{
+    const std::string huge_fp(65, 'a');
+    const std::vector<std::pair<const char *, std::string>> cases = {
+        {"empty line", ""},
+        {"not JSON", "this is not json"},
+        {"truncated document",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":\"sub"},
+        {"non-object document", "[1,2,3]"},
+        {"missing schema", "{\"op\":\"status\"}"},
+        {"wrong schema",
+         "{\"schema\":\"nosq-serve-v9\",\"op\":\"status\"}"},
+        {"missing op", "{\"schema\":\"nosq-serve-v1\"}"},
+        {"unknown op",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":\"explode\"}"},
+        {"op wrong type",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":7}"},
+        {"submit without jobs",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":\"submit\"}"},
+        {"submit jobs not array",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":\"submit\","
+         "\"jobs\":true}"},
+        {"submit empty jobs",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":\"submit\","
+         "\"jobs\":[]}"},
+        {"submit malformed job",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":\"submit\","
+         "\"jobs\":[{}]}"},
+        {"results without fp",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":\"results\"}"},
+        {"results empty fp",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":\"results\","
+         "\"fp\":\"\"}"},
+        {"results oversized fp",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":\"results\",\"fp\":\"" +
+             huge_fp + "\"}"},
+        {"cancel without ticket",
+         "{\"schema\":\"nosq-serve-v1\",\"op\":\"cancel\"}"},
+    };
+    for (const auto &c : cases) {
+        Request req;
+        std::string error;
+        EXPECT_FALSE(parseRequestLine(c.second, req, error))
+            << c.first;
+        EXPECT_FALSE(error.empty()) << c.first;
+    }
+}
+
+TEST(ServeProtocol, OversizedRequestLineRejected)
+{
+    // A line past max_request_bytes must fail before any parsing.
+    std::string line = "{\"schema\":\"nosq-serve-v1\",\"op\":"
+                       "\"status\",\"pad\":\"";
+    line.append(max_request_bytes, 'x');
+    line += "\"}";
+    Request req;
+    std::string error;
+    EXPECT_FALSE(parseRequestLine(line, req, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeProtocol, SubmitJobCountCapped)
+{
+    std::string line =
+        "{\"schema\":\"nosq-serve-v1\",\"op\":\"submit\",\"jobs\":[";
+    for (std::size_t i = 0; i <= max_jobs_per_submit; ++i) {
+        if (i)
+            line += ',';
+        line += "{}";
+    }
+    line += "]}";
+    Request req;
+    std::string error;
+    EXPECT_FALSE(parseRequestLine(line, req, error));
+    EXPECT_FALSE(error.empty());
+}
+
+/**
+ * Deterministic fuzz: every truncation of a real submit line, and a
+ * byte-mutation sweep over it, must either parse or fail with an
+ * error message -- never crash, hang, or throw. No randomness: the
+ * mutations are a fixed function of position.
+ */
+TEST(ServeProtocol, TruncationAndMutationFuzzNeverCrashes)
+{
+    std::string error;
+    const std::string line = submitRequestLine(
+        {profileJob(), kernelJob()}, &error);
+    ASSERT_FALSE(line.empty()) << error;
+    const std::string body = line.substr(0, line.size() - 1);
+
+    for (std::size_t cut = 0; cut < body.size(); ++cut) {
+        Request req;
+        std::string err;
+        parseRequestLine(body.substr(0, cut), req, err);
+        // Any truncation that drops bytes cannot be a valid
+        // document of the same shape; it must be rejected.
+        EXPECT_FALSE(err.empty()) << "truncation at " << cut;
+    }
+
+    const char replacements[] = {'\0', '"', '{', '}', ',', 'Z'};
+    for (std::size_t at = 0; at < body.size(); at += 3) {
+        for (const char r : replacements) {
+            if (body[at] == r)
+                continue;
+            std::string mutated = body;
+            mutated[at] = r;
+            Request req;
+            std::string err;
+            // Accept or reject; just never crash. (A mutation in a
+            // string literal's interior can legitimately still
+            // parse.)
+            parseRequestLine(mutated, req, err);
+        }
+    }
+}
+
+TEST(ServeProtocol, WorkerFramingRoundTrips)
+{
+    const SweepJob job = kernelJob();
+    const std::string line = workerJobLine(1234, job);
+
+    std::uint64_t id = 0;
+    SweepJob rebuilt;
+    std::string error;
+    ASSERT_TRUE(parseWorkerJobLine(
+        line.substr(0, line.size() - 1), id, rebuilt, error))
+        << error;
+    EXPECT_EQ(id, 1234u);
+    EXPECT_EQ(jobFingerprint(job), jobFingerprint(rebuilt));
+
+    RunResult run;
+    run.benchmark = "spsc-ring";
+    run.suite = Suite::Int;
+    run.config = "nosq/c2-d8";
+    run.sim.cycles = 123456;
+    run.sim.insts = 30000;
+    run.sim.loads = 777;
+    const std::string fp = jobFingerprint(job);
+
+    WorkerResult wr;
+    ASSERT_TRUE(parseWorkerResultLine(
+        workerResultLine(9, fp, run), wr, error))
+        << error;
+    EXPECT_EQ(wr.id, 9u);
+    EXPECT_EQ(wr.fp, fp);
+    EXPECT_TRUE(wr.error.empty());
+    // The run payload is the journal record shape; the line form is
+    // the bit-identity witness.
+    EXPECT_EQ(runResultJsonLine(wr.run), runResultJsonLine(run));
+
+    WorkerResult we;
+    ASSERT_TRUE(parseWorkerResultLine(
+        workerErrorLine(10, fp, "simulation exploded"), we, error))
+        << error;
+    EXPECT_EQ(we.id, 10u);
+    EXPECT_EQ(we.error, "simulation exploded");
+
+    std::uint64_t bad_id;
+    SweepJob bad_job;
+    EXPECT_FALSE(
+        parseWorkerJobLine("{\"id\":1}", bad_id, bad_job, error));
+    WorkerResult bad_wr;
+    EXPECT_FALSE(parseWorkerResultLine("{\"id\":1,\"fp\":\"x\"}",
+                                       bad_wr, error));
+}
+
+TEST(ServeProtocol, ReplyBuildersEmitParsableJson)
+{
+    RunResult run;
+    run.benchmark = "gcc";
+    run.config = "cfg";
+    run.sim.cycles = 10;
+    run.sim.insts = 5;
+
+    for (const std::string &line :
+         {errorReplyLine("bad \"request\"\nwith newline"),
+          submitAckLine("t7", 4, 2, 1),
+          jobResultLine(3, "0123456789abcdef", run),
+          jobErrorLine(2, "0123456789abcdef", "worker died"),
+          doneLine("t7", 4)}) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.back(), '\n');
+        JsonValue doc;
+        std::string error;
+        EXPECT_TRUE(parseJson(line, doc, &error))
+            << error << " in: " << line;
+    }
+
+    JsonValue ack;
+    ASSERT_TRUE(parseJson(submitAckLine("t7", 4, 2, 1), ack,
+                          nullptr));
+    ASSERT_NE(ack.find("ticket"), nullptr);
+    EXPECT_EQ(ack.find("ticket")->string, "t7");
+    EXPECT_EQ(ack.find("jobs")->asU64(), 4u);
+    EXPECT_EQ(ack.find("cached")->asU64(), 2u);
+    EXPECT_EQ(ack.find("shared")->asU64(), 1u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace nosq

@@ -34,6 +34,7 @@
 
 #include "common/table.hh"
 #include "memsys/coherence.hh"
+#include "serve/client.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
 #include "sim/perf.hh"
@@ -159,6 +160,18 @@ usage()
         "                        journal from a different sweep spec;\n"
         "                        corrupt records are salvaged up to\n"
         "                        the damage with a warning\n"
+        "  --server SOCK         run the sweep on the nosq_sweepd\n"
+        "                        daemon listening at Unix socket\n"
+        "                        SOCK instead of in-process worker\n"
+        "                        threads; the report is\n"
+        "                        byte-identical to a local sweep.\n"
+        "                        Mutually exclusive with\n"
+        "                        --checkpoint/--resume (the daemon\n"
+        "                        owns its own persistent store)\n"
+        "  --server-status       print the daemon's one-line status\n"
+        "                        JSON (workers, executed,\n"
+        "                        cache_hits, ...) and exit;\n"
+        "                        requires --server\n"
         "  --json                emit the nosq-sweep-v2 JSON report\n"
         "                        (runs + per-suite reductions) to\n"
         "                        stdout instead of a table\n"
@@ -251,6 +264,8 @@ struct SweepOptions
     std::string out_path;
     std::string checkpoint_path;
     std::string resume_path;
+    /** nosq_sweepd socket; non-empty runs the sweep as a client. */
+    std::string server;
     // Single-run knobs forwarded into every sweep configuration.
     bool delay = true;
     bool svw = true;
@@ -563,40 +578,77 @@ runSweepMode(const SweepOptions &opt)
     else if (!opt.checkpoint_path.empty())
         journal.emplace(SweepJournal::create(opt.checkpoint_path));
 
-    auto journalNotes = [&journal](bool resumed) {
-        if (!journal)
-            return;
+    // Bind up front (the engine then skips its lazy bind) so the
+    // salvage warnings and the resume summary print BEFORE the
+    // sweep runs. The summary prints unconditionally for --resume:
+    // a matching-spec journal with zero salvaged records used to
+    // re-run everything silently, leaving logs with no evidence the
+    // resume found nothing -- "resuming: 0/N journaled" makes that
+    // state auditable.
+    if (journal) {
+        try {
+            journal->bind(jobs);
+        } catch (const JournalError &e) {
+            for (const std::string &warning : journal->warnings())
+                std::fprintf(stderr, "journal: %s\n",
+                             warning.c_str());
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
         for (const std::string &warning : journal->warnings())
             std::fprintf(stderr, "journal: %s\n", warning.c_str());
-        if (resumed) {
-            std::fprintf(stderr, "journal: resumed %zu completed "
-                         "job(s) from '%s'\n", journal->doneCount(),
+        if (!opt.resume_path.empty()) {
+            std::fprintf(stderr, "journal: resuming: %zu/%zu "
+                         "journaled job(s) from '%s'\n",
+                         journal->doneCount(), jobs.size(),
                          journal->path().c_str());
         }
-    };
+    }
 
     std::vector<RunResult> results;
     int exit_code = 0;
-    try {
-        results = journal
-            ? runSweep(jobs, *journal, opt.jobs, progress)
-            : runSweep(jobs, opt.jobs, progress);
-        journalNotes(!opt.resume_path.empty());
-    } catch (const JournalError &e) {
-        // Unresumable journal (different sweep spec, unwritable
-        // path): nothing ran, so nothing to salvage.
-        journalNotes(false);
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    } catch (const SweepError &e) {
-        // Per-job failures were isolated by the engine: report the
-        // summary (job indices + reasons), salvage the completed
-        // runs (failed ones carry "valid": false in the report),
-        // and fail the invocation.
-        journalNotes(!opt.resume_path.empty());
-        std::fprintf(stderr, "\n%s\n", e.what());
-        results = e.results();
-        exit_code = 1;
+    if (!opt.server.empty()) {
+        // Client mode: the daemon runs the jobs; the report below
+        // is assembled from the streamed results exactly as a local
+        // sweep would and is byte-identical to one.
+        serve::ClientOutcome outcome;
+        std::string error;
+        if (!serve::runSweepOnServer(opt.server, jobs, outcome,
+                                     error, progress)) {
+            std::fprintf(stderr, "server sweep failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        if (!opt.json) {
+            std::fprintf(stderr, "server: ticket %s, %zu job(s), "
+                         "%zu cached, %zu shared\n",
+                         outcome.ticket.c_str(), jobs.size(),
+                         outcome.cached, outcome.shared);
+        }
+        for (const std::string &failure : outcome.failures) {
+            std::fprintf(stderr, "server: job %s\n",
+                         failure.c_str());
+            exit_code = 1;
+        }
+        results = std::move(outcome.results);
+    } else {
+        try {
+            results = journal
+                ? runSweep(jobs, *journal, opt.jobs, progress)
+                : runSweep(jobs, opt.jobs, progress);
+        } catch (const JournalError &e) {
+            // Journal I/O failed outright (unwritable path).
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        } catch (const SweepError &e) {
+            // Per-job failures were isolated by the engine: report
+            // the summary (job indices + reasons), salvage the
+            // completed runs (failed ones carry "valid": false in
+            // the report), and fail the invocation.
+            std::fprintf(stderr, "\n%s\n", e.what());
+            results = e.results();
+            exit_code = 1;
+        }
     }
     if (journal && !journal->writeError().empty()) {
         // The sweep itself completed, but its checkpoint is not
@@ -718,6 +770,7 @@ main(int argc, char **argv)
     bool mshrs_set = false;
     bool prefetch_set = false;
     std::string validate_path;
+    bool server_status = false;
     SweepOptions sweep_opt;
 
     for (int i = 1; i < argc; ++i) {
@@ -893,6 +946,17 @@ main(int argc, char **argv)
                              "path\n");
                 return 1;
             }
+        } else if (arg == "--server" ||
+                   arg.rfind("--server=", 0) == 0) {
+            sweep_opt.server =
+                arg == "--server" ? next() : arg.substr(9);
+            if (sweep_opt.server.empty()) {
+                std::fprintf(stderr, "--server needs a non-empty "
+                             "socket path\n");
+                return 1;
+            }
+        } else if (arg == "--server-status") {
+            server_status = true;
         } else {
             usage();
             return arg == "--help" ? 0 : 1;
@@ -960,6 +1024,35 @@ main(int argc, char **argv)
           (!sweep && isMulticoreWorkload(bench)))) {
         std::fprintf(stderr, "--queue-depth applies only to "
                      "multicore kernel runs\n");
+        return 1;
+    }
+    if (server_status) {
+        if (sweep_opt.server.empty()) {
+            std::fprintf(stderr, "--server-status requires "
+                         "--server SOCK\n");
+            return 1;
+        }
+        std::string reply, error;
+        if (!serve::fetchServerStatus(sweep_opt.server, reply,
+                                      error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 1;
+        }
+        std::printf("%s\n", reply.c_str());
+        return 0;
+    }
+    if (!sweep_opt.server.empty() && !sweep) {
+        std::fprintf(stderr, "--server applies only to sweep "
+                     "mode\n");
+        return 1;
+    }
+    if (!sweep_opt.server.empty() &&
+        (!sweep_opt.checkpoint_path.empty() ||
+         !sweep_opt.resume_path.empty())) {
+        std::fprintf(stderr, "--server and --checkpoint/--resume "
+                     "are mutually exclusive (journaling is "
+                     "server-side: the daemon owns a persistent "
+                     "result store)\n");
         return 1;
     }
     if ((!sweep_opt.checkpoint_path.empty() ||

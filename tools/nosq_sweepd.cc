@@ -1,0 +1,163 @@
+/**
+ * @file
+ * nosq_sweepd: the sweep-serving daemon (sweep-as-a-service).
+ *
+ * Owns a persistent fingerprint -> result store and a pool of
+ * forked simulation workers; accepts nosq-serve-v1 requests over a
+ * Unix-domain socket (see docs/SERVING.md and serve/protocol.hh),
+ * dedupes identical jobs across clients, and streams results back
+ * as they complete. `nosq_sim --server=<socket> --sweep=...` is the
+ * matching client.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "serve/dispatcher.hh"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+usage(std::FILE *out)
+{
+    std::fputs(
+        "nosq_sweepd: sweep-serving daemon (nosq-serve-v1)\n"
+        "\n"
+        "Serves sweep jobs to nosq_sim --server clients from a\n"
+        "persistent result store, sharding fresh jobs across forked\n"
+        "worker processes and deduplicating identical submissions.\n"
+        "Runs in the foreground; SIGTERM/SIGINT shut it down\n"
+        "cleanly. See docs/SERVING.md for the protocol and an\n"
+        "operator guide.\n"
+        "\n"
+        "Usage: nosq_sweepd --socket PATH [options]\n"
+        "\n"
+        "Options:\n"
+        "  --socket PATH            Unix-domain socket to listen on\n"
+        "                           (required; keep it short, the\n"
+        "                           AF_UNIX limit is ~107 bytes)\n"
+        "  --store FILE             persistent result store\n"
+        "                           (default: nosq_store.jsonl)\n"
+        "  --workers N              worker processes (default:\n"
+        "                           NOSQ_JOBS, else hardware\n"
+        "                           concurrency)\n"
+        "  --heartbeat-timeout SEC  seconds without worker\n"
+        "                           heartbeat progress before the\n"
+        "                           worker is presumed wedged and\n"
+        "                           killed; must exceed the longest\n"
+        "                           single job (default: 300)\n"
+        "  --log FILE               append diagnostics to FILE\n"
+        "                           instead of stderr\n"
+        "  --help                   this text\n",
+        out);
+}
+
+bool
+parseUnsigned(const char *text, unsigned &out)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || v > 1u << 20)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    nosq::serve::DispatcherOptions opts;
+    opts.storePath = "nosq_store.jsonl";
+    opts.stopFlag = &g_stop;
+    std::string log_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "nosq_sweepd: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--socket") {
+            opts.socketPath = value("--socket");
+        } else if (arg == "--store") {
+            opts.storePath = value("--store");
+        } else if (arg == "--workers") {
+            if (!parseUnsigned(value("--workers"),
+                               opts.workers) ||
+                opts.workers == 0) {
+                std::fputs("nosq_sweepd: --workers needs a "
+                           "positive integer\n",
+                           stderr);
+                return 2;
+            }
+        } else if (arg == "--heartbeat-timeout") {
+            if (!parseUnsigned(value("--heartbeat-timeout"),
+                               opts.heartbeatTimeoutSec) ||
+                opts.heartbeatTimeoutSec == 0) {
+                std::fputs("nosq_sweepd: --heartbeat-timeout "
+                           "needs a positive integer\n",
+                           stderr);
+                return 2;
+            }
+        } else if (arg == "--log") {
+            log_path = value("--log");
+        } else {
+            std::fprintf(stderr,
+                         "nosq_sweepd: unknown option '%s'\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (opts.socketPath.empty()) {
+        std::fputs("nosq_sweepd: --socket is required\n", stderr);
+        usage(stderr);
+        return 2;
+    }
+
+    if (!log_path.empty() &&
+        std::freopen(log_path.c_str(), "a", stderr) == nullptr) {
+        // stderr may already be clobbered by the failed freopen;
+        // stdout is still intact for the complaint.
+        std::fprintf(stdout,
+                     "nosq_sweepd: cannot open log '%s': %s\n",
+                     log_path.c_str(), std::strerror(errno));
+        return 2;
+    }
+    setvbuf(stderr, nullptr, _IONBF, 0);
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    nosq::serve::Dispatcher dispatcher(opts);
+    std::string error;
+    if (!dispatcher.init(error)) {
+        std::fprintf(stderr, "nosq_sweepd: %s\n", error.c_str());
+        return 1;
+    }
+    return dispatcher.run();
+}
