@@ -6,12 +6,16 @@
 #include "serve/client.hh"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <random>
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "serve/fault.hh"
 #include "serve/protocol.hh"
 #include "sim/journal.hh"
 #include "sim/report.hh"
@@ -35,17 +39,28 @@ connectTo(const std::string &socket_path, std::string &error)
     std::strncpy(addr.sun_path, socket_path.c_str(),
                  sizeof(addr.sun_path) - 1);
     const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0 ||
-        connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
-                sizeof(addr)) != 0) {
+    if (fd < 0) {
+        error = "cannot create a socket: " +
+                std::string(std::strerror(errno));
+        return -1;
+    }
+    for (;;) {
+        if (faultConnect(fd,
+                         reinterpret_cast<struct sockaddr *>(&addr),
+                         sizeof(addr)) == 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        // A connect interrupted by a signal may have completed
+        // anyway; the retry then reports EISCONN.
+        if (errno == EISCONN)
+            return fd;
         error = "cannot connect to '" + socket_path +
                 "': " + std::strerror(errno) +
                 " (is nosq_sweepd running?)";
-        if (fd >= 0)
-            close(fd);
+        close(fd);
         return -1;
     }
-    return fd;
 }
 
 bool
@@ -53,14 +68,17 @@ sendAll(int fd, const std::string &data, std::string &error)
 {
     std::size_t sent = 0;
     while (sent < data.size()) {
-        const ssize_t n = send(fd, data.data() + sent,
-                               data.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0) {
-            error = "send failed: " +
-                    std::string(std::strerror(errno));
-            return false;
+        const ssize_t n = faultSend(fd, data.data() + sent,
+                                    data.size() - sent,
+                                    MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
         }
-        sent += static_cast<std::size_t>(n);
+        if (n < 0 && errno == EINTR)
+            continue;
+        error = "send failed: " + std::string(std::strerror(errno));
+        return false;
     }
     return true;
 }
@@ -78,11 +96,13 @@ readLine(int fd, std::string &buffer, std::string &line,
             return true;
         }
         char chunk[1 << 16];
-        const ssize_t got = read(fd, chunk, sizeof(chunk));
+        const ssize_t got = faultRead(fd, chunk, sizeof(chunk));
         if (got > 0) {
             buffer.append(chunk, static_cast<std::size_t>(got));
             continue;
         }
+        if (got < 0 && errno == EINTR)
+            continue;
         if (got == 0)
             error = "server closed the connection mid-stream";
         else
@@ -106,6 +126,154 @@ failedResult(const SweepJob &job)
     return result;
 }
 
+enum class Attempt {
+    Done,  ///< every job delivered
+    Retry, ///< transient failure; reconnect and resubmit
+    Fatal, ///< protocol-level rejection; do not retry
+};
+
+/**
+ * One connect + submit + stream pass. Results land in
+ * @p out.results under @p have bookkeeping, so a later pass only
+ * fills what this one missed.
+ */
+Attempt
+attemptSweep(const std::string &socket_path,
+             const std::string &request,
+             const std::vector<SweepJob> &jobs, ClientOutcome &out,
+             std::vector<char> &have, std::size_t &delivered,
+             std::string &error,
+             const std::function<void(std::size_t, std::size_t)>
+                 &progress)
+{
+    const int fd = connectTo(socket_path, error);
+    if (fd < 0)
+        return Attempt::Retry;
+    if (!sendAll(fd, request, error)) {
+        close(fd);
+        return Attempt::Retry;
+    }
+
+    std::string buffer, line;
+
+    // Ack first.
+    if (!readLine(fd, buffer, line, error)) {
+        close(fd);
+        return Attempt::Retry;
+    }
+    JsonValue ack;
+    if (!parseJson(line, ack, nullptr) ||
+        ack.kind != JsonValue::Kind::Object) {
+        error = "unparseable server reply: " + line;
+        close(fd);
+        return Attempt::Fatal;
+    }
+    if (const JsonValue *okv = ack.find("ok");
+        okv == nullptr || okv->kind != JsonValue::Kind::Bool ||
+        !okv->boolean) {
+        const JsonValue *msg = ack.find("error");
+        const std::string reason =
+            msg != nullptr && msg->kind == JsonValue::Kind::String
+                ? msg->string
+                : line;
+        error = "server refused the sweep: " + reason;
+        close(fd);
+        // Load shedding and shutdown are the daemon's way of
+        // saying "not now" -- back off and try again.
+        return reason.rfind("draining", 0) == 0 ||
+                       reason.rfind("overloaded", 0) == 0
+                   ? Attempt::Retry
+                   : Attempt::Fatal;
+    }
+    if (const JsonValue *t = ack.find("ticket");
+        t != nullptr && t->kind == JsonValue::Kind::String)
+        out.ticket = t->string;
+    std::uint64_t n = 0;
+    if (const JsonValue *c = ack.find("cached");
+        c != nullptr && jsonExactCounter(*c, n))
+        out.cached = static_cast<std::size_t>(n);
+    if (const JsonValue *s = ack.find("shared");
+        s != nullptr && jsonExactCounter(*s, n))
+        out.shared = static_cast<std::size_t>(n);
+
+    // Stream until every job (across all attempts) is in.
+    while (delivered < jobs.size()) {
+        if (!readLine(fd, buffer, line, error)) {
+            close(fd);
+            return Attempt::Retry;
+        }
+        JsonValue v;
+        if (!parseJson(line, v, nullptr) ||
+            v.kind != JsonValue::Kind::Object) {
+            error = "unparseable server stream line: " + line;
+            close(fd);
+            return Attempt::Fatal;
+        }
+        if (v.find("done") != nullptr)
+            continue; // premature; tolerated
+        std::uint64_t index = 0;
+        const JsonValue *job = v.find("job");
+        if (job == nullptr || !jsonExactCounter(*job, index) ||
+            index >= jobs.size()) {
+            error = "server stream line with a bad job index: " +
+                    line;
+            close(fd);
+            return Attempt::Fatal;
+        }
+        if (have[index])
+            continue; // duplicate delivery; first wins
+        if (const JsonValue *run = v.find("run")) {
+            if (!runResultFromJson(*run, out.results[index])) {
+                error = "unrestorable result for job " +
+                        std::to_string(index);
+                close(fd);
+                return Attempt::Fatal;
+            }
+        } else if (const JsonValue *msg = v.find("error")) {
+            out.results[index] = failedResult(jobs[index]);
+            out.failures.push_back(
+                std::to_string(index) + ": " +
+                (msg->kind == JsonValue::Kind::String
+                     ? msg->string
+                     : "unknown failure"));
+        } else {
+            error = "server stream line with neither result nor "
+                    "error: " +
+                    line;
+            close(fd);
+            return Attempt::Fatal;
+        }
+        have[index] = 1;
+        ++delivered;
+        if (progress)
+            progress(delivered, jobs.size());
+    }
+
+    close(fd);
+    return Attempt::Done;
+}
+
+void
+backoffSleep(std::size_t attempt, const RetryPolicy &retry,
+             std::minstd_rand &rng)
+{
+    const unsigned base = retry.base_backoff_ms > 0
+                              ? retry.base_backoff_ms
+                              : 1;
+    std::uint64_t ms = base;
+    for (std::size_t i = 1; i < attempt && ms < retry.max_backoff_ms;
+         ++i)
+        ms *= 2;
+    if (ms > retry.max_backoff_ms)
+        ms = retry.max_backoff_ms;
+    ms += rng() % base; // jitter desynchronizes retrying clients
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(ms / 1000);
+    ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+    while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+    }
+}
+
 } // anonymous namespace
 
 bool
@@ -113,7 +281,8 @@ runSweepOnServer(const std::string &socket_path,
                  const std::vector<SweepJob> &jobs,
                  ClientOutcome &out, std::string &error,
                  const std::function<void(std::size_t,
-                                          std::size_t)> &progress)
+                                          std::size_t)> &progress,
+                 const RetryPolicy &retry)
 {
     out = ClientOutcome();
     if (jobs.empty()) {
@@ -129,110 +298,34 @@ runSweepOnServer(const std::string &socket_path,
         return false;
     }
 
-    const int fd = connectTo(socket_path, error);
-    if (fd < 0)
-        return false;
-    if (!sendAll(fd, request, error)) {
-        close(fd);
-        return false;
-    }
-
-    std::string buffer, line;
-    bool ok = true;
     std::vector<char> have(jobs.size(), 0);
     out.results.assign(jobs.size(), RunResult());
     std::size_t delivered = 0;
+    const std::size_t attempts =
+        retry.attempts > 0 ? retry.attempts : 1;
+    std::minstd_rand rng(
+        static_cast<unsigned>(getpid()) * 2654435761u + 1u);
 
-    // Ack first.
-    if (!readLine(fd, buffer, line, error)) {
-        close(fd);
-        return false;
-    }
-    JsonValue ack;
-    if (!parseJson(line, ack, nullptr) ||
-        ack.kind != JsonValue::Kind::Object) {
-        error = "unparseable server reply: " + line;
-        close(fd);
-        return false;
-    }
-    if (const JsonValue *okv = ack.find("ok");
-        okv == nullptr || okv->kind != JsonValue::Kind::Bool ||
-        !okv->boolean) {
-        const JsonValue *msg = ack.find("error");
-        error = "server refused the sweep: " +
-                (msg != nullptr &&
-                         msg->kind == JsonValue::Kind::String
-                     ? msg->string
-                     : line);
-        close(fd);
-        return false;
-    }
-    if (const JsonValue *t = ack.find("ticket");
-        t != nullptr && t->kind == JsonValue::Kind::String)
-        out.ticket = t->string;
-    std::uint64_t n = 0;
-    if (const JsonValue *c = ack.find("cached");
-        c != nullptr && jsonExactCounter(*c, n))
-        out.cached = static_cast<std::size_t>(n);
-    if (const JsonValue *s = ack.find("shared");
-        s != nullptr && jsonExactCounter(*s, n))
-        out.shared = static_cast<std::size_t>(n);
-
-    // Stream until the done marker.
-    while (delivered < jobs.size()) {
-        if (!readLine(fd, buffer, line, error)) {
-            ok = false;
+    for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+        if (attempt > 1) {
+            std::fprintf(stderr,
+                         "server: retrying (attempt %zu/%zu): %s\n",
+                         attempt, attempts, error.c_str());
+            backoffSleep(attempt - 1, retry, rng);
+        }
+        switch (attemptSweep(socket_path, request, jobs, out, have,
+                             delivered, error, progress)) {
+        case Attempt::Done:
+            return true;
+        case Attempt::Fatal:
+            return false;
+        case Attempt::Retry:
             break;
         }
-        JsonValue v;
-        if (!parseJson(line, v, nullptr) ||
-            v.kind != JsonValue::Kind::Object) {
-            error = "unparseable server stream line: " + line;
-            ok = false;
-            break;
-        }
-        if (v.find("done") != nullptr)
-            continue; // premature; tolerated
-        std::uint64_t index = 0;
-        const JsonValue *job = v.find("job");
-        if (job == nullptr || !jsonExactCounter(*job, index) ||
-            index >= jobs.size()) {
-            error = "server stream line with a bad job index: " +
-                    line;
-            ok = false;
-            break;
-        }
-        if (have[index])
-            continue; // duplicate delivery; first wins
-        if (const JsonValue *run = v.find("run")) {
-            if (!runResultFromJson(*run, out.results[index])) {
-                error = "unrestorable result for job " +
-                        std::to_string(index);
-                ok = false;
-                break;
-            }
-        } else if (const JsonValue *msg = v.find("error")) {
-            out.results[index] = failedResult(jobs[index]);
-            out.failures.push_back(
-                std::to_string(index) + ": " +
-                (msg->kind == JsonValue::Kind::String
-                     ? msg->string
-                     : "unknown failure"));
-        } else {
-            error = "server stream line with neither result nor "
-                    "error: " +
-                    line;
-            ok = false;
-            break;
-        }
-        have[index] = 1;
-        ++delivered;
-        if (progress)
-            progress(delivered, jobs.size());
     }
-
-    close(fd);
-    return ok;
+    error = "sweep failed after " + std::to_string(attempts) +
+            " attempt(s): " + error;
+    return false;
 }
 
 bool

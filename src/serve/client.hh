@@ -24,6 +24,23 @@
 namespace nosq {
 namespace serve {
 
+/**
+ * How hard the client tries before giving up on a sweep.
+ *
+ * Every attempt is a full reconnect + re-submit of the whole job
+ * list; the daemon's fingerprint dedup makes that idempotent (done
+ * jobs come back as cache hits), and the client keeps every result
+ * it already has, so a retry only re-streams what is missing.
+ * Attempt k sleeps min(base << k, max) milliseconds plus uniform
+ * jitter in [0, base) before reconnecting.
+ */
+struct RetryPolicy
+{
+    std::size_t attempts = 5;       ///< total connection attempts
+    unsigned base_backoff_ms = 100; ///< first retry delay
+    unsigned max_backoff_ms = 5000; ///< backoff ceiling
+};
+
 /** One finished server sweep. */
 struct ClientOutcome
 {
@@ -43,6 +60,11 @@ struct ClientOutcome
  * Submit @p jobs to the daemon at @p socket_path and collect every
  * result.
  *
+ * Connection drops (including the daemon dying mid-stream and
+ * coming back), `draining`, and `overloaded` rejections are retried
+ * per @p retry with exponential backoff + jitter; protocol-level
+ * rejections (malformed job, bad schema) are immediately fatal.
+ *
  * @param progress optional (done, total) callback, fired per
  *        delivered job
  * @return false with @p error set on connection or protocol
@@ -54,7 +76,8 @@ bool runSweepOnServer(const std::string &socket_path,
                       ClientOutcome &out, std::string &error,
                       const std::function<void(std::size_t,
                                                std::size_t)>
-                          &progress = nullptr);
+                          &progress = nullptr,
+                      const RetryPolicy &retry = RetryPolicy());
 
 /**
  * Fetch the daemon's one-line status JSON.

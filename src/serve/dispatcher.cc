@@ -13,12 +13,16 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <time.h>
 #include <unistd.h>
 
+#include "serve/fault.hh"
 #include "serve/worker.hh"
 #include "sim/journal.hh"
 #include "sim/sweep.hh"
@@ -129,6 +133,15 @@ Dispatcher::init(std::string &error)
     }
     fcntl(listen_fd, F_SETFL, O_NONBLOCK);
 
+    // Workers must inherit the shared fault counters, so hits
+    // registered inside a worker (worker.job, worker.beat) are
+    // visible in this process's status reply.
+    if (FaultInjector::global().enabled()) {
+        FaultInjector::global().shareCounters();
+        logLine("fault plan active: %s",
+                FaultInjector::global().plan().c_str());
+    }
+
     workers.resize(opts.workers);
     for (std::size_t i = 0; i < workers.size(); ++i) {
         if (!spawnWorker(i, error))
@@ -149,7 +162,8 @@ Dispatcher::spawnWorker(std::size_t slot, std::string &error)
                 std::string(std::strerror(errno));
         return false;
     }
-    const pid_t pid = fork();
+    const pid_t daemon_pid = getpid();
+    const pid_t pid = faultFork();
     if (pid < 0) {
         error = "fork failed: " + std::string(std::strerror(errno));
         unmapWorkerChannel(worker.channel);
@@ -165,10 +179,20 @@ Dispatcher::spawnWorker(std::size_t slot, std::string &error)
             (void)client;
             close(fd);
         }
+#ifdef __linux__
+        // Die with the daemon. Workers poll shared memory, so a
+        // SIGKILLed daemon would otherwise leave them spinning
+        // forever (a wedge-injected worker ignores even the stop
+        // flag) while holding every inherited fd open.
+        prctl(PR_SET_PDEATHSIG, SIGKILL);
+        if (getppid() != daemon_pid)
+            _exit(0); // the daemon died before prctl() armed
+#endif
         _exit(workerMain(workers[slot].channel));
     }
     worker.pid = pid;
     worker.alive = true;
+    worker.wedged = false;
     worker.lastBeat = 0;
     worker.lastBeatAtMs = nowMs();
     worker.inflight.clear();
@@ -180,7 +204,40 @@ Dispatcher::spawnWorker(std::size_t slot, std::string &error)
 int
 Dispatcher::run()
 {
-    while (opts.stopFlag == nullptr || *opts.stopFlag == 0) {
+    bool drained_clean = true;
+    for (;;) {
+        const std::sig_atomic_t stop =
+            opts.stopFlag != nullptr ? *opts.stopFlag : 0;
+        if (stop >= 2) {
+            // Second signal: the operator means it. Skip the drain.
+            logLine("immediate stop requested; %zu execution(s) "
+                    "abandoned",
+                    execs.size());
+            drained_clean = execs.empty();
+            break;
+        }
+        if (stop >= 1 && !draining)
+            beginDrain();
+        if (draining) {
+            bool flushed = true;
+            for (const auto &[fd, client] : clients) {
+                (void)fd;
+                if (!client.outbuf.empty())
+                    flushed = false;
+            }
+            if (execs.empty() && flushed) {
+                logLine("drain complete: all work delivered");
+                break;
+            }
+            if (nowMs() > drain_deadline_ms) {
+                logLine("drain timed out after %us; forcing "
+                        "shutdown with %zu execution(s) in flight",
+                        opts.drainTimeoutSec, execs.size());
+                drained_clean = false;
+                break;
+            }
+        }
+
         std::vector<struct pollfd> fds;
         fds.push_back({listen_fd, POLLIN, 0});
         for (const auto &[fd, client] : clients) {
@@ -207,9 +264,33 @@ Dispatcher::run()
         feedWorkers();
         flushClients();
     }
-    logLine("stop requested; shutting down");
     shutdownWorkers();
-    return 0;
+    if (drained_clean) {
+        // Heal any append failures and leave a compacted store
+        // behind; a clean exit means "everything completed is on
+        // disk".
+        std::string error;
+        if (!store.compact(error))
+            logLine("final store compaction failed: %s",
+                    error.c_str());
+        logLine("clean shutdown (store: %zu result(s))",
+                store.size());
+        return 0;
+    }
+    logLine("forced shutdown");
+    return 1;
+}
+
+void
+Dispatcher::beginDrain()
+{
+    draining = true;
+    drain_deadline_ms =
+        nowMs() +
+        static_cast<std::uint64_t>(opts.drainTimeoutSec) * 1000u;
+    logLine("drain requested: refusing new submits, waiting for "
+            "%zu execution(s) (timeout %us)",
+            execs.size(), opts.drainTimeoutSec);
 }
 
 void
@@ -234,7 +315,7 @@ Dispatcher::readClient(int fd)
 
     char buffer[1 << 16];
     for (;;) {
-        const ssize_t got = read(fd, buffer, sizeof(buffer));
+        const ssize_t got = faultRead(fd, buffer, sizeof(buffer));
         if (got > 0) {
             client.inbuf.append(buffer,
                                 static_cast<std::size_t>(got));
@@ -244,6 +325,8 @@ Dispatcher::readClient(int fd)
             closeClient(fd);
             return;
         }
+        if (errno == EINTR)
+            continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK)
             break;
         closeClient(fd);
@@ -304,6 +387,37 @@ Dispatcher::handleLine(int fd, const std::string &line)
 void
 Dispatcher::handleSubmit(int fd, const Request &request)
 {
+    if (draining) {
+        clients[fd].outbuf += errorReplyLine(
+            "draining: the daemon is shutting down; retry against "
+            "its replacement");
+        return;
+    }
+
+    // Admission control: fingerprint first, so a submit every job
+    // of which is already cached, quarantined, or running is always
+    // served -- only one that needs FRESH executions can be shed.
+    std::vector<std::string> fps;
+    fps.reserve(request.jobs.size());
+    std::size_t fresh = 0;
+    for (const SweepJob &job : request.jobs) {
+        fps.push_back(jobFingerprint(job));
+        const std::string &fp = fps.back();
+        if (!store.has(fp) && execs.find(fp) == execs.end() &&
+            quarantine.find(fp) == quarantine.end())
+            ++fresh;
+    }
+    if (opts.maxPending > 0 && fresh > 0 &&
+        pending.size() >= opts.maxPending) {
+        ++stat_overloaded;
+        logLine("submit shed: %zu pending >= --max-pending %zu",
+                pending.size(), opts.maxPending);
+        clients[fd].outbuf += errorReplyLine(
+            "overloaded: " + std::to_string(pending.size()) +
+            " job(s) already pending; back off and retry");
+        return;
+    }
+
     const std::string ticket =
         "t" + std::to_string(++ticket_seq);
     Ticket &t = tickets[ticket];
@@ -314,12 +428,20 @@ Dispatcher::handleSubmit(int fd, const Request &request)
     std::string streamed;
     for (std::size_t i = 0; i < request.jobs.size(); ++i) {
         const SweepJob &job = request.jobs[i];
-        const std::string fp = jobFingerprint(job);
+        const std::string &fp = fps[i];
         if (store.has(fp)) {
             streamed += jobResultLine(i, fp, store.get(fp));
             ++t.delivered;
             ++cached;
             ++stat_cache_hits;
+            continue;
+        }
+        if (auto qit = quarantine.find(fp);
+            qit != quarantine.end()) {
+            // A poison job fails fast instead of re-wedging the
+            // pool; the client sees an ordinary per-job error row.
+            streamed += jobErrorLine(i, fp, qit->second);
+            ++t.delivered;
             continue;
         }
         auto it = execs.find(fp);
@@ -352,26 +474,31 @@ Dispatcher::handleSubmit(int fd, const Request &request)
 void
 Dispatcher::handleStatus(int fd)
 {
-    std::size_t alive = 0;
+    ServerStatus status;
+    status.workers = workers.size();
     for (const Worker &worker : workers)
-        alive += worker.alive ? 1 : 0;
-    std::string reply = "{\"ok\":true";
-    reply += ",\"workers\":" + std::to_string(workers.size());
-    reply += ",\"alive\":" + std::to_string(alive);
-    reply += ",\"executed\":" + std::to_string(stat_executed);
-    reply += ",\"cache_hits\":" + std::to_string(stat_cache_hits);
-    reply +=
-        ",\"dedup_shared\":" + std::to_string(stat_dedup_shared);
-    reply +=
-        ",\"worker_deaths\":" + std::to_string(stat_worker_deaths);
-    reply += ",\"requeued\":" + std::to_string(stat_requeued);
-    reply += ",\"failed\":" + std::to_string(stat_failed);
-    reply += ",\"store_size\":" + std::to_string(store.size());
-    reply += ",\"pending\":" + std::to_string(pending.size());
-    reply += ",\"running\":" +
-             std::to_string(execs.size() - pending.size());
-    reply += "}\n";
-    clients[fd].outbuf += reply;
+        status.alive += worker.alive ? 1 : 0;
+    status.executed = stat_executed;
+    status.cache_hits = stat_cache_hits;
+    status.dedup_shared = stat_dedup_shared;
+    status.worker_deaths = stat_worker_deaths;
+    status.requeued = stat_requeued;
+    status.failed = stat_failed;
+    status.quarantined = stat_quarantined;
+    status.overloaded = stat_overloaded;
+    status.store_size = store.size();
+    status.store_append_failures = store.appendFailures();
+    status.pending = pending.size();
+    status.running = execs.size() - pending.size();
+    status.max_pending = opts.maxPending;
+    status.draining = draining;
+    // Deterministic dump order (attempts is an unordered_map).
+    std::map<std::string, std::uint64_t> ordered(attempts.begin(),
+                                                 attempts.end());
+    status.job_attempts.assign(ordered.begin(), ordered.end());
+    status.quarantine.assign(quarantine.begin(), quarantine.end());
+    status.faults_json = FaultInjector::global().statusJson();
+    clients[fd].outbuf += statusReplyLine(status);
 }
 
 void
@@ -441,6 +568,7 @@ Dispatcher::drainResults()
             const std::string fp = idit->second;
             id_to_fp.erase(idit);
             ++stat_executed;
+            attempts.erase(fp); // completed; no longer a suspect
             if (result.error.empty()) {
                 store.put(fp, result.run);
                 deliver(fp, &result.run, "");
@@ -494,16 +622,23 @@ Dispatcher::reapWorkers()
                 continue;
             worker.alive = false;
             ++stat_worker_deaths;
-            if (WIFSIGNALED(status))
-                logLine("worker %zu (pid %d) killed by signal %d",
-                        slot, static_cast<int>(pid),
-                        WTERMSIG(status));
+            std::string death_reason;
+            if (worker.wedged)
+                death_reason = "worker wedged (no heartbeat for " +
+                               std::to_string(
+                                   opts.heartbeatTimeoutSec) +
+                               "s)";
+            else if (WIFSIGNALED(status))
+                death_reason =
+                    "worker killed by signal " +
+                    std::to_string(WTERMSIG(status));
             else
-                logLine("worker %zu (pid %d) exited with status "
-                        "%d",
-                        slot, static_cast<int>(pid),
-                        WEXITSTATUS(status));
-            requeueWorkerJobs(slot);
+                death_reason =
+                    "worker exited with status " +
+                    std::to_string(WEXITSTATUS(status));
+            logLine("worker %zu (pid %d): %s", slot,
+                    static_cast<int>(pid), death_reason.c_str());
+            requeueWorkerJobs(slot, death_reason);
             unmapWorkerChannel(worker.channel);
             worker.channel = nullptr;
             worker.pid = -1;
@@ -518,7 +653,8 @@ Dispatcher::reapWorkers()
 }
 
 void
-Dispatcher::requeueWorkerJobs(std::size_t slot)
+Dispatcher::requeueWorkerJobs(std::size_t slot,
+                              const std::string &death_reason)
 {
     Worker &worker = workers[slot];
     // Oldest work first: requeued jobs jump the queue so a retried
@@ -535,11 +671,36 @@ Dispatcher::requeueWorkerJobs(std::size_t slot)
             continue;
         eit->second.worker = -1;
         eit->second.id = 0;
+        const std::uint64_t tried = attempts[fp];
+        if (opts.maxJobAttempts > 0 &&
+            tried >= opts.maxJobAttempts) {
+            quarantineJob(fp,
+                          "quarantined after " +
+                              std::to_string(tried) +
+                              " attempt(s): " + death_reason);
+            continue;
+        }
         pending.push_front(fp);
         ++stat_requeued;
-        logLine("requeued job %s", fp.c_str());
+        logLine("requeued job %s (attempt %llu of %u)", fp.c_str(),
+                static_cast<unsigned long long>(tried),
+                opts.maxJobAttempts);
     }
     worker.inflight.clear();
+}
+
+void
+Dispatcher::quarantineJob(const std::string &fp,
+                          const std::string &reason)
+{
+    ++stat_failed;
+    ++stat_quarantined;
+    quarantine[fp] = reason;
+    logLine("job %s %s", fp.c_str(), reason.c_str());
+    // Delivered as a per-job error row, exactly like a job whose
+    // simulation threw: every attached waiter unblocks, nothing is
+    // stored, and later submits of this fingerprint fail fast.
+    deliver(fp, nullptr, reason);
 }
 
 void
@@ -566,6 +727,7 @@ Dispatcher::checkHeartbeats()
                     "killing",
                     slot, static_cast<int>(worker.pid),
                     opts.heartbeatTimeoutSec);
+            worker.wedged = true;
             kill(worker.pid, SIGKILL);
             // reapWorkers() requeues its jobs and respawns.
             worker.lastBeatAtMs = now;
@@ -601,6 +763,7 @@ Dispatcher::feedWorkers()
             it->second.id = id;
             id_to_fp.emplace(id, fp);
             worker.inflight.push_back(id);
+            ++attempts[fp];
         }
     }
 }
@@ -612,13 +775,15 @@ Dispatcher::flushClients()
     for (auto &[fd, client] : clients) {
         while (!client.outbuf.empty()) {
             const ssize_t sent =
-                send(fd, client.outbuf.data(),
-                     client.outbuf.size(), MSG_NOSIGNAL);
+                faultSend(fd, client.outbuf.data(),
+                          client.outbuf.size(), MSG_NOSIGNAL);
             if (sent > 0) {
                 client.outbuf.erase(
                     0, static_cast<std::size_t>(sent));
                 continue;
             }
+            if (sent < 0 && errno == EINTR)
+                continue;
             if (sent < 0 &&
                 (errno == EAGAIN || errno == EWOULDBLOCK))
                 break;

@@ -55,7 +55,26 @@ struct DispatcherOptions
      * presumed wedged and SIGKILLed. Must exceed the longest single
      * job; raise it for full-length sweeps. */
     unsigned heartbeatTimeoutSec = 300;
-    /** Loop-stop flag, typically set by SIGTERM/SIGINT handlers. */
+    /** A job whose worker dies or wedges this many times is
+     * quarantined (delivered as a failure with a reason) instead of
+     * crash-looping the pool. 0 disables quarantine. */
+    unsigned maxJobAttempts = 3;
+    /** Pending-queue bound: a submit that needs fresh executions
+     * while the queue holds this many jobs is rejected with
+     * `overloaded` (the client backs off and retries). 0 =
+     * unbounded. One admitted batch may overshoot the bound; the
+     * queue is bounded by maxPending + one submit. */
+    std::size_t maxPending = 0;
+    /** Graceful-drain budget: seconds after the first stop signal
+     * before the daemon gives up waiting for in-flight jobs and
+     * forces shutdown (exit code 1). */
+    unsigned drainTimeoutSec = 60;
+    /**
+     * Stop request level, typically bumped by SIGTERM/SIGINT
+     * handlers: 0 = serve, 1 = drain (finish in-flight work, refuse
+     * new submits with `draining`, compact the store, exit 0), >= 2
+     * = shut down now.
+     */
     const volatile std::sig_atomic_t *stopFlag = nullptr;
 };
 
@@ -114,6 +133,9 @@ class Dispatcher
         std::uint64_t lastBeatAtMs = 0;
         std::vector<std::uint64_t> inflight;
         bool alive = false;
+        /** Killed for heartbeat stagnation (informs the
+         * quarantine reason when its jobs hit the attempt cap). */
+        bool wedged = false;
     };
 
     bool spawnWorker(std::size_t slot, std::string &error);
@@ -127,7 +149,11 @@ class Dispatcher
     void drainResults();
     void reapWorkers();
     void checkHeartbeats();
-    void requeueWorkerJobs(std::size_t slot);
+    void requeueWorkerJobs(std::size_t slot,
+                           const std::string &death_reason);
+    void quarantineJob(const std::string &fp,
+                       const std::string &reason);
+    void beginDrain();
     void feedWorkers();
     void deliver(const std::string &fp, const RunResult *run,
                  const std::string &error_message);
@@ -148,6 +174,16 @@ class Dispatcher
     std::uint64_t ticket_seq = 0;
     std::uint64_t exec_seq = 0;
 
+    /** Dispatch attempts per live execution fingerprint; erased on
+     * delivery, kept (for the status reply) on quarantine. */
+    std::unordered_map<std::string, std::uint64_t> attempts;
+    /** Poison jobs: fingerprint -> why it was quarantined. std::map
+     * keeps the status dump deterministically ordered. */
+    std::map<std::string, std::string> quarantine;
+
+    bool draining = false;
+    std::uint64_t drain_deadline_ms = 0;
+
     // --- stats (the status reply) ------------------------------------
     std::uint64_t stat_executed = 0;
     std::uint64_t stat_cache_hits = 0;
@@ -155,6 +191,8 @@ class Dispatcher
     std::uint64_t stat_worker_deaths = 0;
     std::uint64_t stat_requeued = 0;
     std::uint64_t stat_failed = 0;
+    std::uint64_t stat_quarantined = 0;
+    std::uint64_t stat_overloaded = 0;
 };
 
 } // namespace serve

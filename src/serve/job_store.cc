@@ -10,6 +10,7 @@
 
 #include <unistd.h>
 
+#include "serve/fault.hh"
 #include "sim/journal.hh"
 #include "sim/report.hh"
 
@@ -112,9 +113,19 @@ JobStore::open(const std::string &path, std::string &error)
         }
     }
 
-    // Compact: header + salvaged records via tmp + rename, so the
-    // live file is clean before new appends.
-    const std::string tmp = path + ".tmp";
+    // Compact so the live file is clean before new appends.
+    return compact(error);
+}
+
+bool
+JobStore::compact(std::string &error)
+{
+    if (file != nullptr) {
+        std::fclose(file);
+        file = nullptr;
+    }
+
+    const std::string tmp = file_path + ".tmp";
     std::FILE *out = std::fopen(tmp.c_str(), "wb");
     if (out == nullptr) {
         error = "store: cannot write '" + tmp +
@@ -124,24 +135,43 @@ JobStore::open(const std::string &path, std::string &error)
     std::string contents = headerLine();
     for (const auto &[fp, run] : results)
         contents += recordLine(fp, run);
-    const bool wrote =
+    bool wrote =
         std::fwrite(contents.data(), 1, contents.size(), out) ==
             contents.size() &&
-        std::fflush(out) == 0 && fsync(fileno(out)) == 0;
+        std::fflush(out) == 0;
+    if (wrote) {
+        if (FaultInjector::global().check(FaultSite::StoreFsync) ==
+            FaultAction::Fail) {
+            errno = EIO;
+            wrote = false;
+        } else {
+            wrote = fsync(fileno(out)) == 0;
+        }
+    }
     std::fclose(out);
-    if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    bool renamed = false;
+    if (wrote) {
+        if (FaultInjector::global().check(FaultSite::StoreRename) ==
+            FaultAction::Fail)
+            errno = EIO;
+        else
+            renamed = std::rename(tmp.c_str(),
+                                  file_path.c_str()) == 0;
+    }
+    if (!renamed) {
         std::remove(tmp.c_str());
-        error = "store: cannot replace '" + path +
+        error = "store: cannot replace '" + file_path +
                 "': " + std::strerror(errno);
         return false;
     }
 
-    file = std::fopen(path.c_str(), "ab");
+    file = std::fopen(file_path.c_str(), "ab");
     if (file == nullptr) {
-        error = "store: cannot append to '" + path +
+        error = "store: cannot append to '" + file_path +
                 "': " + std::strerror(errno);
         return false;
     }
+    append_failures = 0; // every result is on disk again
     return true;
 }
 
@@ -167,14 +197,23 @@ JobStore::put(const std::string &fp, const RunResult &run)
     if (file == nullptr)
         return;
     const std::string line = recordLine(fp, run);
-    if (std::fwrite(line.data(), 1, line.size(), file) !=
-            line.size() ||
-        std::fflush(file) != 0) {
+    bool appended = false;
+    if (FaultInjector::global().check(FaultSite::StoreWrite) ==
+        FaultAction::Fail)
+        errno = EIO;
+    else
+        appended = std::fwrite(line.data(), 1, line.size(), file) ==
+                       line.size() &&
+                   std::fflush(file) == 0;
+    if (!appended) {
+        // Lose this one record on disk, not the store: the
+        // in-memory copy still serves, later appends proceed, and
+        // the next compact() rewrites everything.
+        ++append_failures;
         warns.push_back("store: append failed: " +
                         std::string(std::strerror(errno)) +
-                        " (serving continues unpersisted)");
-        std::fclose(file);
-        file = nullptr;
+                        " (1 record unpersisted until compaction)");
+        std::clearerr(file);
     }
 }
 

@@ -20,6 +20,7 @@
 #ifndef NOSQ_SERVE_JOB_STORE_HH
 #define NOSQ_SERVE_JOB_STORE_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <unordered_map>
@@ -56,9 +57,29 @@ class JobStore
      * Record @p run under @p fp and flush it to the OS. Invalid
      * results are not persisted (a failed job must re-run, exactly
      * as the sweep journal refuses them). Duplicate fingerprints
-     * keep the first record.
+     * keep the first record. A failed append loses only that one
+     * record on disk (the in-memory copy still serves; a restarted
+     * daemon re-executes the job) and is counted in
+     * appendFailures() -- later appends are attempted normally.
      */
     void put(const std::string &fp, const RunResult &run);
+
+    /**
+     * Rewrite the live file as header + one record per result via
+     * tmp + fsync + rename (the same idiom open() uses), then
+     * reopen it for appends. Heals dropped appends and trims
+     * whatever salvage tolerated. @return false with @p error set
+     * when the rewrite fails (the old file stays in place)
+     */
+    bool compact(std::string &error);
+
+    /** Appends that failed to reach the file (records lost on
+     * disk until the next compact()). */
+    std::uint64_t
+    appendFailures() const
+    {
+        return append_failures;
+    }
 
     std::size_t
     size() const
@@ -83,6 +104,7 @@ class JobStore
     std::FILE *file = nullptr;
     std::unordered_map<std::string, RunResult> results;
     std::vector<std::string> warns;
+    std::uint64_t append_failures = 0;
 };
 
 } // namespace serve

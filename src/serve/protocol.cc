@@ -478,6 +478,50 @@ submitAckLine(const std::string &ticket, std::size_t jobs,
 }
 
 std::string
+statusReplyLine(const ServerStatus &status)
+{
+    std::string reply = "{\"ok\":true";
+    reply += ",\"workers\":" + u64(status.workers);
+    reply += ",\"alive\":" + u64(status.alive);
+    reply += ",\"executed\":" + u64(status.executed);
+    reply += ",\"cache_hits\":" + u64(status.cache_hits);
+    reply += ",\"dedup_shared\":" + u64(status.dedup_shared);
+    reply += ",\"worker_deaths\":" + u64(status.worker_deaths);
+    reply += ",\"requeued\":" + u64(status.requeued);
+    reply += ",\"failed\":" + u64(status.failed);
+    reply += ",\"quarantined\":" + u64(status.quarantined);
+    reply += ",\"overloaded\":" + u64(status.overloaded);
+    reply += ",\"store_size\":" + u64(status.store_size);
+    reply += ",\"store_append_failures\":" +
+             u64(status.store_append_failures);
+    reply += ",\"pending\":" + u64(status.pending);
+    reply += ",\"running\":" + u64(status.running);
+    reply += ",\"max_pending\":" + u64(status.max_pending);
+    reply += ",\"draining\":";
+    reply += status.draining ? "true" : "false";
+    reply += ",\"job_attempts\":{";
+    bool first = true;
+    for (const auto &[fp, attempts] : status.job_attempts) {
+        if (!first)
+            reply += ",";
+        first = false;
+        reply += quoted(fp) + ":" + u64(attempts);
+    }
+    reply += "},\"quarantine\":{";
+    first = true;
+    for (const auto &[fp, reason] : status.quarantine) {
+        if (!first)
+            reply += ",";
+        first = false;
+        reply += quoted(fp) + ":" + quoted(reason);
+    }
+    reply += "},\"faults\":";
+    reply += status.faults_json.empty() ? "{}" : status.faults_json;
+    reply += "}\n";
+    return reply;
+}
+
+std::string
 jobResultLine(std::size_t index, const std::string &fp,
               const RunResult &run)
 {

@@ -9,7 +9,9 @@
 #include <string>
 
 #include <time.h>
+#include <unistd.h>
 
+#include "serve/fault.hh"
 #include "serve/protocol.hh"
 #include "sim/journal.hh"
 #include "sim/sweep.hh"
@@ -33,11 +35,20 @@ napMillis(long ms)
 int
 workerMain(WorkerChannel *channel)
 {
+    const pid_t daemon = getppid();
     std::string line;
     while (!channel->stop.load(std::memory_order_acquire)) {
-        channel->heartbeat.fetch_add(1,
-                                     std::memory_order_relaxed);
+        if (FaultInjector::global().check(FaultSite::WorkerBeat) !=
+            FaultAction::Fail)
+            channel->heartbeat.fetch_add(1,
+                                         std::memory_order_relaxed);
         if (!channel->jobs.tryPop(line)) {
+            // Orphan check: if the daemon died without setting the
+            // stop flag (SIGKILL), nobody will ever read a result
+            // again -- exit instead of spinning forever on fds
+            // (including any inherited pipe) we keep open.
+            if (getppid() != daemon)
+                return 0;
             napMillis(2);
             continue;
         }
@@ -54,7 +65,23 @@ workerMain(WorkerChannel *channel)
         const std::string fp = jobFingerprint(job);
 
         std::string reply;
-        try {
+        switch (FaultInjector::global().check(FaultSite::WorkerJob)) {
+        case FaultAction::Wedge:
+            // A genuinely hung job: no heartbeat, no result, no
+            // reaction to stop. Only the daemon's heartbeat
+            // timeout (SIGKILL) ends this worker.
+            for (;;)
+                napMillis(50);
+        case FaultAction::Crash:
+            _exit(42);
+        case FaultAction::Fail:
+            reply = workerErrorLine(
+                id, fp, "injected fault: worker.job fail");
+            break;
+        default:
+            break;
+        }
+        if (reply.empty()) try {
             const RunResult run = runSweepJob(job);
             reply = workerResultLine(id, fp, run);
         } catch (const std::exception &e) {

@@ -7,6 +7,8 @@
 #include <limits>
 #include <map>
 
+#include <unistd.h>
+
 namespace nosq {
 
 // --- reductions ------------------------------------------------------------
@@ -162,14 +164,26 @@ computeReductions(const std::vector<RunResult> &results,
 bool
 writeTextFile(const std::string &path, const std::string &contents)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    // Atomic replace (tmp + fsync + rename): a reader of `path`
+    // sees the old bytes or the new bytes, never a truncated
+    // half-report from a writer killed mid-stream.
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) {
-        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        std::fprintf(stderr, "cannot write '%s'\n", tmp.c_str());
         return false;
     }
-    const bool wrote = std::fputs(contents.c_str(), f) >= 0;
+    const bool wrote = std::fputs(contents.c_str(), f) >= 0 &&
+                       std::fflush(f) == 0 &&
+                       fsync(fileno(f)) == 0;
     if (std::fclose(f) != 0 || !wrote) {
-        std::fprintf(stderr, "error writing '%s'\n", path.c_str());
+        std::fprintf(stderr, "error writing '%s'\n", tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr, "cannot replace '%s'\n", path.c_str());
+        std::remove(tmp.c_str());
         return false;
     }
     return true;

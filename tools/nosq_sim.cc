@@ -35,6 +35,7 @@
 #include "common/table.hh"
 #include "memsys/coherence.hh"
 #include "serve/client.hh"
+#include "serve/fault.hh"
 #include "sim/experiment.hh"
 #include "sim/journal.hh"
 #include "sim/perf.hh"
@@ -172,6 +173,13 @@ usage()
         "                        JSON (workers, executed,\n"
         "                        cache_hits, ...) and exit;\n"
         "                        requires --server\n"
+        "  --retries N           total --server connection attempts\n"
+        "                        before giving up; dropped\n"
+        "                        connections, 'draining', and\n"
+        "                        'overloaded' replies are retried\n"
+        "                        with exponential backoff + jitter,\n"
+        "                        resuming the result stream where\n"
+        "                        it left off (default: 5)\n"
         "  --json                emit the nosq-sweep-v2 JSON report\n"
         "                        (runs + per-suite reductions) to\n"
         "                        stdout instead of a table\n"
@@ -266,6 +274,8 @@ struct SweepOptions
     std::string resume_path;
     /** nosq_sweepd socket; non-empty runs the sweep as a client. */
     std::string server;
+    /** Total --server connection attempts (see RetryPolicy). */
+    unsigned retries = 5;
     // Single-run knobs forwarded into every sweep configuration.
     bool delay = true;
     bool svw = true;
@@ -613,8 +623,17 @@ runSweepMode(const SweepOptions &opt)
         // sweep would and is byte-identical to one.
         serve::ClientOutcome outcome;
         std::string error;
-        if (!serve::runSweepOnServer(opt.server, jobs, outcome,
-                                     error, progress)) {
+        serve::RetryPolicy retry;
+        retry.attempts = opt.retries > 0 ? opt.retries : 1;
+        const bool served = serve::runSweepOnServer(
+            opt.server, jobs, outcome, error, progress, retry);
+        if (serve::FaultInjector::global().enabled()) {
+            // Let harnesses assert the client-side plan fired.
+            std::fprintf(
+                stderr, "client fault sites: %s\n",
+                serve::FaultInjector::global().statusJson().c_str());
+        }
+        if (!served) {
             std::fprintf(stderr, "server sweep failed: %s\n",
                          error.c_str());
             return 1;
@@ -739,6 +758,18 @@ runValidateMode(const std::string &path)
 int
 main(int argc, char **argv)
 {
+    // Honour NOSQ_FAULT_PLAN before anything touches a syscall
+    // seam, so chaos harnesses can exercise the client too.
+    {
+        std::string fault_error;
+        if (!serve::FaultInjector::global().configureFromEnv(
+                fault_error)) {
+            std::fprintf(stderr, "nosq_sim: %s\n",
+                         fault_error.c_str());
+            return 2;
+        }
+    }
+
     std::string bench;
     std::string mode = "nosq";
     std::uint64_t insts = 300000;
@@ -957,6 +988,17 @@ main(int argc, char **argv)
             }
         } else if (arg == "--server-status") {
             server_status = true;
+        } else if (arg == "--retries") {
+            char *end = nullptr;
+            const unsigned long v =
+                std::strtoul(next(), &end, 10);
+            if (end == nullptr || *end != '\0' || v == 0 ||
+                v > 1000) {
+                std::fprintf(stderr, "--retries needs an integer "
+                             "in 1..1000\n");
+                return 1;
+            }
+            sweep_opt.retries = static_cast<unsigned>(v);
         } else {
             usage();
             return arg == "--help" ? 0 : 1;

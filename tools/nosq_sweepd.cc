@@ -20,6 +20,7 @@
 #include <unistd.h>
 
 #include "serve/dispatcher.hh"
+#include "serve/fault.hh"
 
 namespace {
 
@@ -28,7 +29,10 @@ volatile std::sig_atomic_t g_stop = 0;
 void
 onSignal(int)
 {
-    g_stop = 1;
+    // First signal: drain (finish in-flight work, refuse new
+    // submits, compact the store, exit 0). Second: stop now.
+    if (g_stop < 2)
+        g_stop = g_stop + 1;
 }
 
 void
@@ -40,9 +44,11 @@ usage(std::FILE *out)
         "Serves sweep jobs to nosq_sim --server clients from a\n"
         "persistent result store, sharding fresh jobs across forked\n"
         "worker processes and deduplicating identical submissions.\n"
-        "Runs in the foreground; SIGTERM/SIGINT shut it down\n"
-        "cleanly. See docs/SERVING.md for the protocol and an\n"
-        "operator guide.\n"
+        "Runs in the foreground. The first SIGTERM/SIGINT drains:\n"
+        "in-flight jobs finish, new submits get 'draining', the\n"
+        "store is compacted, and the daemon exits 0; a second\n"
+        "signal stops immediately. See docs/SERVING.md for the\n"
+        "protocol and an operator guide.\n"
         "\n"
         "Usage: nosq_sweepd --socket PATH [options]\n"
         "\n"
@@ -60,6 +66,25 @@ usage(std::FILE *out)
         "                           worker is presumed wedged and\n"
         "                           killed; must exceed the longest\n"
         "                           single job (default: 300)\n"
+        "  --max-job-attempts N     quarantine a job after its\n"
+        "                           worker dies or wedges N times,\n"
+        "                           instead of crash-looping the\n"
+        "                           pool; 0 disables (default: 3)\n"
+        "  --max-pending N          reject submits needing fresh\n"
+        "                           executions while N jobs are\n"
+        "                           already pending ('overloaded',\n"
+        "                           clients back off and retry);\n"
+        "                           0 = unbounded (default: 0)\n"
+        "  --drain-timeout SEC      on SIGTERM, wait this long for\n"
+        "                           in-flight jobs before forcing\n"
+        "                           shutdown (default: 60)\n"
+        "  --fault-plan PLAN        deterministic fault injection\n"
+        "                           for tests, e.g.\n"
+        "                           'store.write:fail@3,\n"
+        "                           sock.*:eintr%5' (overrides the\n"
+        "                           NOSQ_FAULT_PLAN env var; see\n"
+        "                           docs/SERVING.md for the\n"
+        "                           grammar)\n"
         "  --log FILE               append diagnostics to FILE\n"
         "                           instead of stderr\n"
         "  --help                   this text\n",
@@ -86,6 +111,8 @@ main(int argc, char **argv)
     opts.storePath = "nosq_store.jsonl";
     opts.stopFlag = &g_stop;
     std::string log_path;
+    std::string fault_plan;
+    bool fault_plan_set = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -123,6 +150,36 @@ main(int argc, char **argv)
                            stderr);
                 return 2;
             }
+        } else if (arg == "--max-job-attempts") {
+            if (!parseUnsigned(value("--max-job-attempts"),
+                               opts.maxJobAttempts)) {
+                std::fputs("nosq_sweepd: --max-job-attempts needs "
+                           "a non-negative integer\n",
+                           stderr);
+                return 2;
+            }
+        } else if (arg == "--max-pending") {
+            unsigned max_pending = 0;
+            if (!parseUnsigned(value("--max-pending"),
+                               max_pending)) {
+                std::fputs("nosq_sweepd: --max-pending needs a "
+                           "non-negative integer\n",
+                           stderr);
+                return 2;
+            }
+            opts.maxPending = max_pending;
+        } else if (arg == "--drain-timeout") {
+            if (!parseUnsigned(value("--drain-timeout"),
+                               opts.drainTimeoutSec) ||
+                opts.drainTimeoutSec == 0) {
+                std::fputs("nosq_sweepd: --drain-timeout needs a "
+                           "positive integer\n",
+                           stderr);
+                return 2;
+            }
+        } else if (arg == "--fault-plan") {
+            fault_plan = value("--fault-plan");
+            fault_plan_set = true;
         } else if (arg == "--log") {
             log_path = value("--log");
         } else {
@@ -149,6 +206,19 @@ main(int argc, char **argv)
         return 2;
     }
     setvbuf(stderr, nullptr, _IONBF, 0);
+
+    std::string fault_error;
+    const bool fault_ok =
+        fault_plan_set
+            ? nosq::serve::FaultInjector::global().configure(
+                  fault_plan, fault_error)
+            : nosq::serve::FaultInjector::global().configureFromEnv(
+                  fault_error);
+    if (!fault_ok) {
+        std::fprintf(stderr, "nosq_sweepd: %s\n",
+                     fault_error.c_str());
+        return 2;
+    }
 
     std::signal(SIGTERM, onSignal);
     std::signal(SIGINT, onSignal);
