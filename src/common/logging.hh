@@ -7,6 +7,15 @@
  *            exits with an error code.
  * warn()   - something is suspicious but the simulation continues.
  * inform() - normal operational status.
+ *
+ * When the environment variable NOSQ_LOG_PREFIX is set (non-empty,
+ * not "0"), warn() and inform() lines gain a
+ * "[<ISO-8601 UTC> <role>/<pid>] " prefix so interleaved daemon and
+ * worker output (nosq_sweepd forks its pool) can be attributed and
+ * ordered. The role tag is set per process via setLogRole()
+ * ("daemon", "worker"); without one the prefix carries just the
+ * pid. Off by default: single-process tools keep byte-identical
+ * output.
  */
 
 #ifndef NOSQ_COMMON_LOGGING_HH
@@ -32,6 +41,17 @@ void warnImpl(const char *fmt, ...);
 
 /** Print a formatted status message to stdout. */
 void informImpl(const char *fmt, ...);
+
+/** Set this process's role tag for the NOSQ_LOG_PREFIX line prefix
+ * (e.g. "daemon", "worker"). Survives fork(); call again in the
+ * child to re-tag it. */
+void setLogRole(const char *role);
+
+/** The rendered "[<ISO-8601 UTC> <role>/<pid>] " prefix, or "" when
+ * NOSQ_LOG_PREFIX is unset/empty/"0". Exposed so subsystems with
+ * their own line formats (serve/dispatcher.cc's logLine()) stay
+ * consistent with warn()/inform(). */
+std::string logPrefix();
 
 } // namespace nosq
 

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * A small metrics registry with Prometheus text exposition.
+ *
+ * Three series kinds -- monotonic counters, set-anywhere gauges, and
+ * fixed-bucket latency histograms -- registered by name (plus an
+ * optional label set) in a MetricsRegistry and rendered in the
+ * Prometheus text exposition format (version 0.0.4):
+ *
+ *   # HELP nosq_pending_jobs Jobs queued behind the worker pool.
+ *   # TYPE nosq_pending_jobs gauge
+ *   nosq_pending_jobs 3
+ *   # TYPE nosq_job_service_time_ms histogram
+ *   nosq_job_service_time_ms_bucket{le="50"} 2
+ *   nosq_job_service_time_ms_bucket{le="+Inf"} 8
+ *   nosq_job_service_time_ms_sum 1934
+ *   nosq_job_service_time_ms_count 8
+ *
+ * The registry is the serving daemon's scrape surface (the `metrics`
+ * verb in nosq-serve-v1, see serve/dispatcher.hh) but deliberately
+ * knows nothing about serving: it is plain bookkeeping plus a
+ * renderer, so unit tests and future subsystems can use it directly.
+ *
+ * Not thread-safe by design: the daemon is single-threaded (one
+ * poll() loop owns all state), so locking here would be pure
+ * overhead. Guard access externally if that ever changes.
+ *
+ * parseExposition() is the inverse for tests and tooling: it reads
+ * the rendered text back into (series, value) samples so an
+ * exposition round-trip can be asserted exactly.
+ */
+
+#ifndef NOSQ_OBS_METRICS_HH
+#define NOSQ_OBS_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nosq {
+namespace obs {
+
+/** One key="value" label pair on a series. */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonically increasing counter. */
+class Counter
+{
+  public:
+    void
+    inc(std::uint64_t by = 1)
+    {
+        value_ += by;
+    }
+
+    /** Counters only move forward; set() exists for mirroring an
+     * externally accumulated total (e.g. a fault-injection hit
+     * count) and asserts the monotonic contract is kept. */
+    void
+    set(std::uint64_t total)
+    {
+        if (total > value_)
+            value_ = total;
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_;
+    }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A gauge: a value that can go anywhere at any time. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_ = v;
+    }
+
+    double
+    value() const
+    {
+        return value_;
+    }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram. Buckets are the upper bounds handed to the
+ * constructor (strictly increasing); the implicit +Inf bucket always
+ * exists. observe(v) lands v in the first bucket with v <= bound
+ * (Prometheus `le` semantics: bounds are inclusive).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    /** Non-cumulative count of observations in bucket @p i, where i
+     * indexes bounds() and bounds().size() is the +Inf bucket. */
+    std::uint64_t bucketCount(std::size_t i) const;
+
+    const std::vector<double> &
+    bounds() const
+    {
+        return bounds_;
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return count_;
+    }
+
+    double
+    sum() const
+    {
+        return sum_;
+    }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_; ///< bounds_.size() + 1
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Default service-time bucket bounds (milliseconds): roughly
+ * logarithmic from "instant" to "minutes", fixed so scrapes from
+ * different daemons are always comparable. */
+const std::vector<double> &defaultLatencyBucketsMs();
+
+/**
+ * The registry: named series in registration order. counter() /
+ * gauge() / histogram() get-or-create, so call sites can look their
+ * series up every time without caching pointers; re-registering an
+ * existing (name, labels) pair returns the same series (the help
+ * text and bucket layout of the first registration win).
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name, const std::string &help,
+                     const MetricLabels &labels = {});
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const MetricLabels &labels = {});
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         const std::vector<double> &bounds =
+                             defaultLatencyBucketsMs(),
+                         const MetricLabels &labels = {});
+
+    /** Render every registered series as Prometheus text. */
+    std::string expose() const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Series
+    {
+        std::string name;
+        std::string help;
+        MetricLabels labels;
+        Kind kind = Kind::Counter;
+        Counter counter;
+        Gauge gauge;
+        std::vector<Histogram> histogram; ///< 0 or 1 entries
+    };
+
+    Series &find(const std::string &name, const MetricLabels &labels,
+                 Kind kind, const std::string &help);
+
+    std::vector<Series> series_;
+};
+
+/** One parsed sample line of an exposition. */
+struct ExpositionSample
+{
+    /** Series name including any rendered suffix (_bucket, _sum,
+     * _count). */
+    std::string name;
+    /** The raw label block between braces ("" when unlabelled),
+     * e.g. `site="sock.read"` or `le="+Inf"`. */
+    std::string labels;
+    double value = 0.0;
+};
+
+/**
+ * Parse Prometheus text @p text back into samples (comment and HELP/
+ * TYPE lines are skipped). Strict enough for round-trip tests: a
+ * malformed sample line fails the whole parse.
+ * @return false with @p error set on malformed input
+ */
+bool parseExposition(const std::string &text,
+                     std::vector<ExpositionSample> &out,
+                     std::string *error = nullptr);
+
+} // namespace obs
+} // namespace nosq
+
+#endif // NOSQ_OBS_METRICS_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Throttled sweep progress rendering (see progress.hh).
+ */
+
+#include "obs/progress.hh"
+
+#include <cmath>
+
+#include <time.h>
+#include <unistd.h>
+
+namespace nosq {
+namespace obs {
+
+ProgressMeter::ProgressMeter(std::vector<std::string> job_suites,
+                             std::FILE *stream, bool force)
+    : jobSuites(std::move(job_suites)), out(stream)
+{
+    active = force ||
+             (out != nullptr && isatty(fileno(out)) == 1);
+    if (!active)
+        return;
+    for (const std::string &raw : jobSuites) {
+        const std::string name = raw.empty() ? "-" : raw;
+        bool found = false;
+        for (auto &[suite, counts] : suites) {
+            if (suite == name) {
+                ++counts.second;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            suites.push_back({name, {0, 1}});
+    }
+    startNs = nowNs();
+}
+
+std::uint64_t
+ProgressMeter::nowNs() const
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void
+ProgressMeter::report(std::size_t done, std::size_t total,
+                      std::size_t index)
+{
+    if (!active)
+        return;
+    if (index < jobSuites.size()) {
+        const std::string &raw = jobSuites[index];
+        const std::string name = raw.empty() ? "-" : raw;
+        for (auto &[suite, counts] : suites) {
+            if (suite == name) {
+                if (counts.first < counts.second)
+                    ++counts.first;
+                break;
+            }
+        }
+    } else {
+        // Bulk report (journal-skipped jobs): no per-job identity,
+        // so mark everything done -- bulk reports only happen when
+        // the whole sweep was already journaled.
+        for (auto &[suite, counts] : suites)
+            counts.first = counts.second;
+    }
+    const std::uint64_t now = nowNs();
+    if (done < total && rendered &&
+        now - lastRenderNs < progress_throttle_ns) {
+        return;
+    }
+    lastRenderNs = now;
+    render(done, total);
+}
+
+void
+ProgressMeter::render(std::size_t done, std::size_t total)
+{
+    const double elapsed =
+        static_cast<double>(lastRenderNs - startNs) / 1e9;
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+    const double eta =
+        rate > 0.0 ? static_cast<double>(total - done) / rate : -1.0;
+    const std::string line =
+        renderLine(done, total, rate, eta, suites);
+    // Pad with spaces so a shrinking line fully overwrites its
+    // predecessor.
+    std::string padded = "\r" + line;
+    if (line.size() < lastLineLen)
+        padded.append(lastLineLen - line.size(), ' ');
+    lastLineLen = line.size();
+    std::fputs(padded.c_str(), out);
+    std::fflush(out);
+    rendered = true;
+}
+
+void
+ProgressMeter::finish()
+{
+    if (!active || !rendered)
+        return;
+    std::fputc('\n', out);
+    std::fflush(out);
+    rendered = false;
+}
+
+std::string
+ProgressMeter::formatEta(double eta_sec)
+{
+    if (eta_sec < 0.0 || !std::isfinite(eta_sec))
+        return "?";
+    const std::uint64_t s = static_cast<std::uint64_t>(eta_sec + 0.5);
+    char buf[32];
+    if (s < 60) {
+        std::snprintf(buf, sizeof(buf), "%llus",
+                      static_cast<unsigned long long>(s));
+    } else if (s < 3600) {
+        std::snprintf(buf, sizeof(buf), "%llum%02llus",
+                      static_cast<unsigned long long>(s / 60),
+                      static_cast<unsigned long long>(s % 60));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluh%02llum",
+                      static_cast<unsigned long long>(s / 3600),
+                      static_cast<unsigned long long>(s % 3600 / 60));
+    }
+    return buf;
+}
+
+std::string
+ProgressMeter::renderLine(std::size_t done, std::size_t total,
+                          double jobs_per_sec, double eta_sec,
+                          const SuiteProgress &suites)
+{
+    char head[96];
+    std::snprintf(head, sizeof(head), "[%zu/%zu]", done, total);
+    std::string line = head;
+    if (jobs_per_sec > 0.0 && std::isfinite(jobs_per_sec)) {
+        char rate[48];
+        std::snprintf(rate, sizeof(rate), " %.1f jobs/s",
+                      jobs_per_sec);
+        line += rate;
+        line += " eta " +
+                formatEta(done >= total ? 0.0 : eta_sec);
+    }
+    if (!suites.empty() &&
+        !(suites.size() == 1 && suites.front().first == "-")) {
+        line += " |";
+        for (const auto &[suite, counts] : suites) {
+            char part[96];
+            std::snprintf(part, sizeof(part), " %s %zu/%zu",
+                          suite.c_str(), counts.first,
+                          counts.second);
+            line += part;
+        }
+    }
+    return line;
+}
+
+} // namespace obs
+} // namespace nosq

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Live sweep progress: a throttled, TTY-aware stderr status line.
+ *
+ *   [12/48] 3.4 jobs/s eta 11s | media 8/24 int 3/12 fp 1/12
+ *
+ * A ProgressMeter is constructed with the per-job suite names of a
+ * sweep and driven by the engine's SweepProgress callback shape
+ * (done, total, finished-job index). It renders at most once per
+ * throttle interval (plus always on the final job), rewrites itself
+ * in place with '\r', and is automatically OFF when the output
+ * stream is not a terminal -- a cron job or CI log never sees
+ * control characters, and redirected stderr stays clean.
+ *
+ * The rendering itself (renderLine) is a pure function of its
+ * inputs so tests can pin the format without a TTY or a clock.
+ */
+
+#ifndef NOSQ_OBS_PROGRESS_HH
+#define NOSQ_OBS_PROGRESS_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nosq {
+namespace obs {
+
+/** (suite name, (done, total)) in first-appearance order. */
+using SuiteProgress =
+    std::vector<std::pair<std::string,
+                          std::pair<std::size_t, std::size_t>>>;
+
+class ProgressMeter
+{
+  public:
+    /**
+     * @param job_suites suite label of each job, by job index (the
+     *        per-suite breakdown); empty labels are grouped as "-"
+     * @param stream where the line goes (stderr in production;
+     *        tests substitute a tmpfile)
+     * @param force render even when @p stream is not a TTY (tests)
+     */
+    explicit ProgressMeter(std::vector<std::string> job_suites,
+                           std::FILE *stream = stderr,
+                           bool force = false);
+
+    /** True when the meter will render at all (TTY or forced). */
+    bool
+    enabled() const
+    {
+        return active;
+    }
+
+    /**
+     * Report one completion; matches the SweepProgress callback
+     * (sim/sweep.hh). @p index is the finished job's index, or
+     * SIZE_MAX for a bulk report (journal-skipped jobs), which
+     * marks every suite complete up to @p done.
+     */
+    void report(std::size_t done, std::size_t total,
+                std::size_t index);
+
+    /** End the line (newline) if anything was rendered. */
+    void finish();
+
+    /** Pure renderer: "[done/total] R jobs/s eta Es | suite d/t
+     * ...". @p jobs_per_sec <= 0 or @p eta_sec < 0 omit the
+     * respective field. */
+    static std::string renderLine(std::size_t done,
+                                  std::size_t total,
+                                  double jobs_per_sec,
+                                  double eta_sec,
+                                  const SuiteProgress &suites);
+
+    /** Seconds rendered as "42s", "3m12s", or "2h05m". */
+    static std::string formatEta(double eta_sec);
+
+  private:
+    std::uint64_t nowNs() const;
+    void render(std::size_t done, std::size_t total);
+
+    std::vector<std::string> jobSuites;
+    SuiteProgress suites;
+    std::FILE *out = nullptr;
+    bool active = false;
+    bool rendered = false;
+    std::uint64_t startNs = 0;
+    std::uint64_t lastRenderNs = 0;
+    std::size_t lastLineLen = 0;
+};
+
+/** Throttle interval between renders (nanoseconds). */
+inline constexpr std::uint64_t progress_throttle_ns = 100000000ull;
+
+} // namespace obs
+} // namespace nosq
+
+#endif // NOSQ_OBS_PROGRESS_HH

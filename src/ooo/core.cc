@@ -1,6 +1,7 @@
 #include "ooo/core.hh"
 
 #include "common/logging.hh"
+#include "obs/pipe_trace.hh"
 
 namespace nosq {
 
@@ -384,6 +385,13 @@ OooCore::doFetch()
         stream.next();
         ++fetched;
 
+        if (tracer) {
+            tracer->event(obs::TraceLane::Fetch, "pipe", "fetch",
+                          cycle, inf.di.seq, inf.di.pc,
+                          inf.branchMispredicted
+                              ? "\"mispredict\":true" : "");
+        }
+
         if (inf.branchMispredicted) {
             // Fetch must wait until this branch resolves.
             redirectWaitSeq = inf.di.seq;
@@ -403,6 +411,10 @@ OooCore::flushAfter(InstSeq boundary_seq)
     // undoing rename state.
     while (!rob.empty() && rob.back().di.seq > boundary_seq) {
         Inflight &inf = rob.back();
+        if (tracer) {
+            tracer->event(obs::TraceLane::Commit, "pipe", "squash",
+                          cycle, inf.di.seq, inf.di.pc);
+        }
         // Instructions already in the back-end pipe (same commit
         // group as the offender, or behind it) are squashed too;
         // their T-SSBF updates self-heal because the identical

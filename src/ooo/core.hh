@@ -45,6 +45,10 @@
 
 namespace nosq {
 
+namespace obs {
+class PipeTracer;
+}
+
 /** Store PC table size: SSN -> PC for committed stores (SPCT). */
 inline constexpr std::size_t spct_size = 1 << 16;
 
@@ -195,6 +199,15 @@ class OooCore
     const SimResult &stats() const { return res; }
     Cycle now() const { return cycle; }
 
+    /**
+     * Attach a pipeline tracer (obs/pipe_trace.hh); nullptr
+     * detaches. Not owned. The core's timing and statistics are
+     * unaffected: with no tracer attached every hook is one
+     * predicted branch, which is what keeps default runs
+     * byte-identical to pre-tracing builds (the golden-stats gate).
+     */
+    void setTracer(obs::PipeTracer *t) { tracer = t; }
+
     /** The committed memory image (for architectural checks). */
     const SparseMemory &committedMemory() const { return image; }
 
@@ -329,6 +342,11 @@ class OooCore
     std::size_t storeSeqMask = 0;
     /** SPCT: committed-store SSN -> PC (for StoreSets training). */
     std::vector<Addr> spct;
+
+    // --- observability ------------------------------------------------------
+    /** Optional pipeline-event tracer (never owned, off by
+     * default); see setTracer(). */
+    obs::PipeTracer *tracer = nullptr;
 
     // --- results ------------------------------------------------------------
     SimResult res;

@@ -6,6 +6,7 @@
  */
 
 #include "common/logging.hh"
+#include "obs/pipe_trace.hh"
 #include "ooo/core.hh"
 
 namespace nosq {
@@ -93,6 +94,25 @@ OooCore::doBackendEntry()
                 mem.dataRead(di.addr, cycle);
             }
 
+            // Emitted only after the port gate above, so a
+            // port-conflict retry next cycle cannot double-trace
+            // this load's filter outcome.
+            if (tracer && tracer->inWindow(di.seq)) {
+                // The SVW filter outcome: pass means the T-SSBF
+                // proved re-execution unnecessary.
+                std::string args = "\"bypassed\":";
+                args += inf.bypassed ? "true" : "false";
+                args += ",\"pass\":";
+                args += reexec ? "false" : "true";
+                tracer->event(obs::TraceLane::Nosq, "nosq",
+                              "ssbf_filter", cycle, di.seq, di.pc,
+                              args);
+                if (reexec) {
+                    tracer->event(obs::TraceLane::Nosq, "nosq",
+                                  "reexec", cycle, di.seq, di.pc);
+                }
+            }
+
             // Snapshot bypass-predictor training facts while the
             // T-SSBF still reflects exactly the stores older than
             // this load (younger stores enter the back-end later).
@@ -115,6 +135,11 @@ OooCore::doBackendEntry()
                     inf.trainSizeLog = ent->sizeLog;
                 }
             }
+        }
+
+        if (tracer) {
+            tracer->event(obs::TraceLane::Backend, "pipe",
+                          "backend_entry", cycle, di.seq, di.pc);
         }
 
         inf.inBackend = true;
@@ -177,6 +202,21 @@ OooCore::retireLoad(Inflight &inf, bool &flushed)
                     static_cast<unsigned long long>(di.pc));
     }
 
+    if (tracer && tracer->inWindow(di.seq)) {
+        // Forwarding verification: every load's speculative value is
+        // checked against committed state here (by value comparison
+        // when it re-executed, by the SVW soundness invariant when
+        // it did not).
+        std::string args = "\"bypassed\":";
+        args += inf.bypassed ? "true" : "false";
+        args += ",\"reexec\":";
+        args += inf.reexec ? "true" : "false";
+        args += ",\"ok\":";
+        args += mispredicted ? "false" : "true";
+        tracer->event(obs::TraceLane::Nosq, "nosq", "verify", cycle,
+                      di.seq, di.pc, args);
+    }
+
     if (params.mode == LsuMode::Nosq)
         trainBypass(inf, mispredicted);
 
@@ -220,6 +260,12 @@ OooCore::doRetire()
         }
 
         recordCommOracle(di);
+
+        if (tracer) {
+            tracer->event(obs::TraceLane::Commit, "pipe", "commit",
+                          cycle, di.seq, di.pc,
+                          flushed ? "\"flushed\":true" : "");
+        }
 
         if (inf.allocatesDst || inf.sharesDst) {
             if (inf.prevDst != invalid_phys_reg)

@@ -5,6 +5,7 @@
  */
 
 #include "common/logging.hh"
+#include "obs/pipe_trace.hh"
 #include "ooo/core.hh"
 
 namespace nosq {
@@ -171,6 +172,12 @@ OooCore::doIssue()
         --iqCount;
         ++*count;
         ++total;
+
+        if (tracer) {
+            tracer->event(obs::TraceLane::Issue, "pipe", "issue",
+                          cycle, inf.di.seq, inf.di.pc,
+                          inf.isShiftUop ? "\"shift_uop\":true" : "");
+        }
 
         if (cls == InstClass::Load) {
             executeLoad(inf);

@@ -5,6 +5,7 @@
  */
 
 #include "common/logging.hh"
+#include "obs/pipe_trace.hh"
 #include "ooo/core.hh"
 
 namespace nosq {
@@ -22,6 +23,10 @@ OooCore::doRename()
         if (!renameOne(inf))
             break; // structural stall
         Inflight &entry = rob.pushBack(inf);
+        if (tracer) {
+            tracer->event(obs::TraceLane::Rename, "pipe", "rename",
+                          cycle, entry.di.seq, entry.di.pc);
+        }
         // Newly renamed IQ entries are by construction not yet
         // issued: register them as issue candidates.
         if (entry.inIq) {
@@ -102,6 +107,20 @@ OooCore::renameLoadNosq(Inflight &inf)
                 }
             }
         }
+    }
+
+    if (tracer && tracer->inWindow(di.seq)) {
+        std::string args = "\"hit\":";
+        args += inf.predHit ? "true" : "false";
+        args += ",\"bypass\":";
+        args += inf.predBypass ? "true" : "false";
+        if (inf.predDistValid)
+            args += ",\"dist\":" + std::to_string(inf.predDist);
+        args += ",\"decision\":\"";
+        args += do_bypass ? "bypass" : do_delay ? "delay" : "cache";
+        args += "\"";
+        tracer->event(obs::TraceLane::Nosq, "nosq", "bypass_pred",
+                      cycle, di.seq, di.pc, args);
     }
 
     if (do_bypass) {

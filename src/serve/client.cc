@@ -142,9 +142,7 @@ attemptSweep(const std::string &socket_path,
              const std::string &request,
              const std::vector<SweepJob> &jobs, ClientOutcome &out,
              std::vector<char> &have, std::size_t &delivered,
-             std::string &error,
-             const std::function<void(std::size_t, std::size_t)>
-                 &progress)
+             std::string &error, const SweepProgress &progress)
 {
     const int fd = connectTo(socket_path, error);
     if (fd < 0)
@@ -246,7 +244,8 @@ attemptSweep(const std::string &socket_path,
         have[index] = 1;
         ++delivered;
         if (progress)
-            progress(delivered, jobs.size());
+            progress(delivered, jobs.size(),
+                     static_cast<std::size_t>(index));
     }
 
     close(fd);
@@ -280,8 +279,7 @@ bool
 runSweepOnServer(const std::string &socket_path,
                  const std::vector<SweepJob> &jobs,
                  ClientOutcome &out, std::string &error,
-                 const std::function<void(std::size_t,
-                                          std::size_t)> &progress,
+                 const SweepProgress &progress,
                  const RetryPolicy &retry)
 {
     out = ClientOutcome();
@@ -343,6 +341,25 @@ fetchServerStatus(const std::string &socket_path,
     const bool ok = readLine(fd, buffer, reply, error);
     close(fd);
     return ok;
+}
+
+bool
+fetchServerMetrics(const std::string &socket_path,
+                   std::string &exposition, std::string &error)
+{
+    const int fd = connectTo(socket_path, error);
+    if (fd < 0)
+        return false;
+    if (!sendAll(fd, metricsRequestLine(), error)) {
+        close(fd);
+        return false;
+    }
+    std::string buffer, reply;
+    const bool ok = readLine(fd, buffer, reply, error);
+    close(fd);
+    if (!ok)
+        return false;
+    return parseMetricsReplyLine(reply, exposition, error);
 }
 
 } // namespace serve

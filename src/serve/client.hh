@@ -65,8 +65,8 @@ struct ClientOutcome
  * per @p retry with exponential backoff + jitter; protocol-level
  * rejections (malformed job, bad schema) are immediately fatal.
  *
- * @param progress optional (done, total) callback, fired per
- *        delivered job
+ * @param progress optional SweepProgress callback, fired per
+ *        delivered job with (done, total, job index)
  * @return false with @p error set on connection or protocol
  *         failure (per-job failures do NOT fail the call; they land
  *         in ClientOutcome::failures)
@@ -74,9 +74,7 @@ struct ClientOutcome
 bool runSweepOnServer(const std::string &socket_path,
                       const std::vector<SweepJob> &jobs,
                       ClientOutcome &out, std::string &error,
-                      const std::function<void(std::size_t,
-                                               std::size_t)>
-                          &progress = nullptr,
+                      const SweepProgress &progress = nullptr,
                       const RetryPolicy &retry = RetryPolicy());
 
 /**
@@ -85,6 +83,15 @@ bool runSweepOnServer(const std::string &socket_path,
  */
 bool fetchServerStatus(const std::string &socket_path,
                        std::string &reply, std::string &error);
+
+/**
+ * Scrape the daemon's metrics: send the `metrics` verb and unwrap
+ * the reply into the raw Prometheus text exposition.
+ * @return false with @p error set on failure
+ */
+bool fetchServerMetrics(const std::string &socket_path,
+                        std::string &exposition,
+                        std::string &error);
 
 } // namespace serve
 } // namespace nosq

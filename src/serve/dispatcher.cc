@@ -22,7 +22,9 @@
 #include <time.h>
 #include <unistd.h>
 
+#include "common/logging.hh"
 #include "serve/fault.hh"
+#include "serve/serve_metrics.hh"
 #include "serve/worker.hh"
 #include "sim/journal.hh"
 #include "sim/sweep.hh"
@@ -42,11 +44,37 @@ logLine(const char *format, ...)
 {
     va_list args;
     va_start(args, format);
+    const std::string attribution = logPrefix();
+    if (!attribution.empty())
+        std::fputs(attribution.c_str(), stderr);
     std::fputs("sweepd: ", stderr);
     std::vfprintf(stderr, format, args);
     std::fputc('\n', stderr);
     std::fflush(stderr);
     va_end(args);
+}
+
+/** Catalog help text for @p name (serve_metrics.hh); "" when the
+ * name is not catalogued. */
+const char *
+metricHelp(const char *name)
+{
+    const char *help = "";
+    forEachServeMetric([&](const ServeMetricDef &def) {
+        if (std::strcmp(def.name, name) == 0)
+            help = def.help;
+    });
+    return help;
+}
+
+/** Monotonic clock with sub-ms resolution for latency histograms. */
+double
+nowMsF()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) * 1000.0 +
+           static_cast<double>(ts.tv_nsec) / 1e6;
 }
 
 } // anonymous namespace
@@ -92,6 +120,24 @@ Dispatcher::init(std::string &error)
         logLine("%s", warning.c_str());
     logLine("store '%s': %zu cached result(s)",
             store.path().c_str(), store.size());
+
+    // Register the whole catalog up front so the very first scrape
+    // already carries every documented series (at zero). Fault
+    // counters are per-site labelled children and register lazily at
+    // scrape time, only while a plan is active.
+    start_ms = nowMs();
+    forEachServeMetric([&](const ServeMetricDef &def) {
+        const std::string name = def.name;
+        if (name.rfind("nosq_sweepd_fault_", 0) == 0)
+            return;
+        const std::string type = def.type;
+        if (type == "counter")
+            metrics.counter(name, def.help);
+        else if (type == "gauge")
+            metrics.gauge(name, def.help);
+        else
+            metrics.histogram(name, def.help);
+    });
 
     struct sockaddr_un addr;
     std::memset(&addr, 0, sizeof(addr));
@@ -369,9 +415,15 @@ Dispatcher::handleLine(int fd, const std::string &line)
         return;
     }
     switch (request.op) {
-      case Request::Op::Submit:
+      case Request::Op::Submit: {
+        const double t0 = nowMsF();
         handleSubmit(fd, request);
+        metrics
+            .histogram("nosq_sweepd_submit_latency_ms",
+                       metricHelp("nosq_sweepd_submit_latency_ms"))
+            .observe(nowMsF() - t0);
         break;
+      }
       case Request::Op::Status:
         handleStatus(fd);
         break;
@@ -380,6 +432,9 @@ Dispatcher::handleLine(int fd, const std::string &line)
         break;
       case Request::Op::Cancel:
         handleCancel(fd, request);
+        break;
+      case Request::Op::Metrics:
+        handleMetrics(fd);
         break;
     }
 }
@@ -418,6 +473,7 @@ Dispatcher::handleSubmit(int fd, const Request &request)
         return;
     }
 
+    ++stat_submits;
     const std::string ticket =
         "t" + std::to_string(++ticket_seq);
     Ticket &t = tickets[ticket];
@@ -502,6 +558,90 @@ Dispatcher::handleStatus(int fd)
 }
 
 void
+Dispatcher::handleMetrics(int fd)
+{
+    auto ctr = [&](const char *name) -> obs::Counter & {
+        return metrics.counter(name, metricHelp(name));
+    };
+    auto gge = [&](const char *name) -> obs::Gauge & {
+        return metrics.gauge(name, metricHelp(name));
+    };
+
+    ctr("nosq_sweepd_scrapes_total").inc();
+
+    // Counters mirror the stat_* totals the status verb reports, so
+    // the two surfaces can never disagree.
+    ctr("nosq_sweepd_submits_total").set(stat_submits);
+    ctr("nosq_sweepd_jobs_executed_total").set(stat_executed);
+    ctr("nosq_sweepd_cache_hits_total").set(stat_cache_hits);
+    ctr("nosq_sweepd_dedup_shared_total").set(stat_dedup_shared);
+    ctr("nosq_sweepd_worker_deaths_total").set(stat_worker_deaths);
+    ctr("nosq_sweepd_jobs_requeued_total").set(stat_requeued);
+    ctr("nosq_sweepd_jobs_failed_total").set(stat_failed);
+    ctr("nosq_sweepd_jobs_quarantined_total")
+        .set(stat_quarantined);
+    ctr("nosq_sweepd_submits_shed_total").set(stat_overloaded);
+
+    std::uint64_t alive = 0, busy = 0;
+    for (const Worker &worker : workers) {
+        if (!worker.alive)
+            continue;
+        ++alive;
+        if (!worker.inflight.empty())
+            ++busy;
+    }
+    gge("nosq_sweepd_queue_depth")
+        .set(static_cast<double>(pending.size()));
+    gge("nosq_sweepd_jobs_running")
+        .set(static_cast<double>(execs.size() - pending.size()));
+    gge("nosq_sweepd_workers")
+        .set(static_cast<double>(workers.size()));
+    gge("nosq_sweepd_workers_alive")
+        .set(static_cast<double>(alive));
+    gge("nosq_sweepd_worker_utilization")
+        .set(alive > 0 ? static_cast<double>(busy) /
+                             static_cast<double>(alive)
+                       : 0.0);
+    gge("nosq_sweepd_store_size")
+        .set(static_cast<double>(store.size()));
+    const std::uint64_t seen = stat_cache_hits + stat_executed;
+    gge("nosq_sweepd_store_hit_ratio")
+        .set(seen > 0 ? static_cast<double>(stat_cache_hits) /
+                            static_cast<double>(seen)
+                      : 0.0);
+    gge("nosq_sweepd_draining").set(draining ? 1.0 : 0.0);
+    gge("nosq_sweepd_uptime_seconds")
+        .set(static_cast<double>(nowMs() - start_ms) / 1000.0);
+
+    // Fault-plan counters (PR 9): one labelled child per planned
+    // site, mirroring the shared-memory hit/fired totals the status
+    // verb dumps as JSON.
+    const FaultInjector &faults = FaultInjector::global();
+    if (faults.enabled()) {
+        for (std::size_t i = 0; i < fault_site_count; ++i) {
+            const FaultSite site = static_cast<FaultSite>(i);
+            if (!faults.planned(site))
+                continue;
+            const obs::MetricLabels labels = {
+                {"site", faultSiteName(site)}};
+            metrics
+                .counter("nosq_sweepd_fault_hits_total",
+                         metricHelp("nosq_sweepd_fault_hits_total"),
+                         labels)
+                .set(faults.hits(site));
+            metrics
+                .counter(
+                    "nosq_sweepd_fault_fired_total",
+                    metricHelp("nosq_sweepd_fault_fired_total"),
+                    labels)
+                .set(faults.fired(site));
+        }
+    }
+
+    clients[fd].outbuf += metricsReplyLine(metrics.expose());
+}
+
+void
 Dispatcher::handleResults(int fd, const Request &request)
 {
     if (!store.has(request.fp)) {
@@ -567,6 +707,17 @@ Dispatcher::drainResults()
                 continue; // already requeued and completed elsewhere
             const std::string fp = idit->second;
             id_to_fp.erase(idit);
+            if (auto dit = dispatched_ms.find(result.id);
+                dit != dispatched_ms.end()) {
+                metrics
+                    .histogram(
+                        "nosq_sweepd_job_service_time_ms",
+                        metricHelp(
+                            "nosq_sweepd_job_service_time_ms"))
+                    .observe(static_cast<double>(
+                        nowMs() - dit->second));
+                dispatched_ms.erase(dit);
+            }
             ++stat_executed;
             attempts.erase(fp); // completed; no longer a suspect
             if (result.error.empty()) {
@@ -661,6 +812,9 @@ Dispatcher::requeueWorkerJobs(std::size_t slot,
     // sweep is not starved behind newly submitted ones.
     for (auto it = worker.inflight.rbegin();
          it != worker.inflight.rend(); ++it) {
+        // A requeued attempt never lands in the service-time
+        // histogram; only delivered results do.
+        dispatched_ms.erase(*it);
         const auto idit = id_to_fp.find(*it);
         if (idit == id_to_fp.end())
             continue;
@@ -762,6 +916,7 @@ Dispatcher::feedWorkers()
             it->second.worker = static_cast<int>(slot);
             it->second.id = id;
             id_to_fp.emplace(id, fp);
+            dispatched_ms.emplace(id, nowMs());
             worker.inflight.push_back(id);
             ++attempts[fp];
         }

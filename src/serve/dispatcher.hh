@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "serve/job_store.hh"
 #include "serve/protocol.hh"
 #include "serve/spsc_ring.hh"
@@ -146,6 +147,7 @@ class Dispatcher
     void handleStatus(int fd);
     void handleResults(int fd, const Request &request);
     void handleCancel(int fd, const Request &request);
+    void handleMetrics(int fd);
     void drainResults();
     void reapWorkers();
     void checkHeartbeats();
@@ -193,6 +195,16 @@ class Dispatcher
     std::uint64_t stat_failed = 0;
     std::uint64_t stat_quarantined = 0;
     std::uint64_t stat_overloaded = 0;
+    std::uint64_t stat_submits = 0;
+
+    // --- metrics (the `metrics` verb's scrape surface) ---------------
+    /** Series per serve_metrics.hh; counters mirror stat_* at scrape
+     * time, gauges are sampled then too, histograms observe live. */
+    obs::MetricsRegistry metrics;
+    /** Dispatch timestamp (ms) per in-flight wire frame id; feeds
+     * the job service-time histogram on delivery. */
+    std::unordered_map<std::uint64_t, std::uint64_t> dispatched_ms;
+    std::uint64_t start_ms = 0;
 };
 
 } // namespace serve

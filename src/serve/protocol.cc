@@ -359,6 +359,10 @@ parseRequestLine(const std::string &line, Request &out,
         out.op = Request::Op::Status;
         return true;
     }
+    if (op == "metrics") {
+        out.op = Request::Op::Metrics;
+        return true;
+    }
     if (op == "results") {
         out.op = Request::Op::Results;
         if (!getString(v, "fp", out.fp, error))
@@ -460,12 +464,60 @@ cancelRequestLine(const std::string &ticket)
            "}\n";
 }
 
+std::string
+metricsRequestLine()
+{
+    return "{\"schema\":" + quoted(serve_schema) +
+           ",\"op\":\"metrics\"}\n";
+}
+
 // --- daemon replies ---------------------------------------------------------
 
 std::string
 errorReplyLine(const std::string &message)
 {
     return "{\"ok\":false,\"error\":" + quoted(message) + "}\n";
+}
+
+std::string
+metricsReplyLine(const std::string &exposition)
+{
+    return "{\"ok\":true,\"format\":\"prometheus-text-0.0.4\","
+           "\"metrics\":" +
+           quoted(exposition) + "}\n";
+}
+
+bool
+parseMetricsReplyLine(const std::string &line,
+                      std::string &exposition, std::string &error)
+{
+    JsonValue v;
+    std::string parse_error;
+    if (!parseJson(line, v, &parse_error)) {
+        error = "malformed metrics reply: " + parse_error;
+        return false;
+    }
+    if (v.kind != JsonValue::Kind::Object) {
+        error = "metrics reply is not a JSON object";
+        return false;
+    }
+    const JsonValue *okv = v.find("ok");
+    if (okv == nullptr || okv->kind != JsonValue::Kind::Bool ||
+        !okv->boolean) {
+        const JsonValue *msg = v.find("error");
+        error = msg != nullptr &&
+                        msg->kind == JsonValue::Kind::String
+                    ? msg->string
+                    : "metrics request refused";
+        return false;
+    }
+    const JsonValue *text = v.find("metrics");
+    if (text == nullptr || text->kind != JsonValue::Kind::String) {
+        error = "metrics reply carries no 'metrics' string";
+        return false;
+    }
+    exposition = text->string;
+    return true;
 }
 
 std::string

@@ -105,7 +105,7 @@ bool jobFromWire(const JsonValue &v, SweepJob &out,
 
 struct Request
 {
-    enum class Op { Submit, Status, Results, Cancel };
+    enum class Op { Submit, Status, Results, Cancel, Metrics };
 
     Op op = Op::Status;
     std::vector<SweepJob> jobs; ///< submit
@@ -129,6 +129,7 @@ std::string submitRequestLine(const std::vector<SweepJob> &jobs,
 std::string statusRequestLine();
 std::string resultsRequestLine(const std::string &fp);
 std::string cancelRequestLine(const std::string &ticket);
+std::string metricsRequestLine();
 
 // --- daemon replies ---------------------------------------------------------
 
@@ -178,6 +179,24 @@ std::string statusReplyLine(const ServerStatus &status);
 std::string submitAckLine(const std::string &ticket,
                           std::size_t jobs, std::size_t cached,
                           std::size_t shared);
+
+/**
+ * The metrics reply: the Prometheus text exposition (obs/metrics.hh)
+ * JSON-escaped into a one-line envelope so it travels the line
+ * protocol like every other reply:
+ *
+ *   {"ok": true, "format": "prometheus-text-0.0.4",
+ *    "metrics": "# HELP ...\n..."}
+ *
+ * parseMetricsReplyLine() is the client-side inverse; the unescaped
+ * text is what `nosq_sim --server-metrics` prints verbatim.
+ */
+std::string metricsReplyLine(const std::string &exposition);
+
+/** @return false with @p error set on a malformed or not-ok reply */
+bool parseMetricsReplyLine(const std::string &line,
+                           std::string &exposition,
+                           std::string &error);
 
 /** One delivered job result / failure, and the stream terminator. */
 std::string jobResultLine(std::size_t index, const std::string &fp,

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The daemon's metrics catalog: every series the `metrics` verb
+ * exposes, as a single-source-of-truth enumeration.
+ *
+ * The dispatcher registers its series from this list (so a scrape
+ * always carries every catalogued name, even before the first
+ * observation), and the docs drift gate (tests/test_docs.cc) checks
+ * that docs/OBSERVABILITY.md documents exactly these names -- a
+ * metric added here without a catalog row, or documented without
+ * existing, fails the build's test tier.
+ *
+ * Labelled series (`site`) enumerate once per catalog entry; their
+ * per-label children share the name, help, and type.
+ */
+
+#ifndef NOSQ_SERVE_SERVE_METRICS_HH
+#define NOSQ_SERVE_SERVE_METRICS_HH
+
+namespace nosq {
+namespace serve {
+
+/** One catalogued series. @c type is the Prometheus TYPE keyword. */
+struct ServeMetricDef
+{
+    const char *name;
+    const char *type; ///< "counter" | "gauge" | "histogram"
+    const char *help;
+};
+
+/**
+ * Invoke @p fn with a ServeMetricDef for every series of the
+ * `metrics` exposition, in exposition order.
+ */
+template <typename Fn>
+void
+forEachServeMetric(Fn &&fn)
+{
+    // clang-format off
+    fn(ServeMetricDef{"nosq_sweepd_submits_total", "counter",
+        "Submit requests admitted (not shed or refused)."});
+    fn(ServeMetricDef{"nosq_sweepd_jobs_executed_total", "counter",
+        "Jobs completed by the worker pool."});
+    fn(ServeMetricDef{"nosq_sweepd_cache_hits_total", "counter",
+        "Submitted jobs answered from the persistent store."});
+    fn(ServeMetricDef{"nosq_sweepd_dedup_shared_total", "counter",
+        "Submitted jobs deduplicated onto an already-running "
+        "execution."});
+    fn(ServeMetricDef{"nosq_sweepd_worker_deaths_total", "counter",
+        "Worker processes that exited or were killed."});
+    fn(ServeMetricDef{"nosq_sweepd_jobs_requeued_total", "counter",
+        "In-flight jobs requeued after their worker died."});
+    fn(ServeMetricDef{"nosq_sweepd_jobs_failed_total", "counter",
+        "Jobs delivered as failures (simulation error or "
+        "quarantine)."});
+    fn(ServeMetricDef{"nosq_sweepd_jobs_quarantined_total", "counter",
+        "Jobs quarantined after exhausting their dispatch "
+        "attempts."});
+    fn(ServeMetricDef{"nosq_sweepd_submits_shed_total", "counter",
+        "Submit requests rejected with `overloaded`."});
+    fn(ServeMetricDef{"nosq_sweepd_scrapes_total", "counter",
+        "Metrics requests served (including this one)."});
+    fn(ServeMetricDef{"nosq_sweepd_fault_hits_total", "counter",
+        "Fault-injection checks per planned site (label: site); "
+        "absent when no fault plan is active."});
+    fn(ServeMetricDef{"nosq_sweepd_fault_fired_total", "counter",
+        "Fault-injection checks that injected a fault, per planned "
+        "site (label: site); absent when no fault plan is active."});
+    fn(ServeMetricDef{"nosq_sweepd_queue_depth", "gauge",
+        "Jobs pending behind the worker pool."});
+    fn(ServeMetricDef{"nosq_sweepd_jobs_running", "gauge",
+        "Executions dispatched to a worker and not yet delivered."});
+    fn(ServeMetricDef{"nosq_sweepd_workers", "gauge",
+        "Configured worker pool size."});
+    fn(ServeMetricDef{"nosq_sweepd_workers_alive", "gauge",
+        "Workers currently alive."});
+    fn(ServeMetricDef{"nosq_sweepd_worker_utilization", "gauge",
+        "Fraction of alive workers with at least one in-flight "
+        "job."});
+    fn(ServeMetricDef{"nosq_sweepd_store_size", "gauge",
+        "Results in the persistent store."});
+    fn(ServeMetricDef{"nosq_sweepd_store_hit_ratio", "gauge",
+        "cache_hits / (cache_hits + executed) over the daemon's "
+        "lifetime; 0 before any job is seen."});
+    fn(ServeMetricDef{"nosq_sweepd_draining", "gauge",
+        "1 while the daemon drains toward shutdown, else 0."});
+    fn(ServeMetricDef{"nosq_sweepd_uptime_seconds", "gauge",
+        "Seconds since the dispatcher started serving."});
+    fn(ServeMetricDef{"nosq_sweepd_submit_latency_ms", "histogram",
+        "Time to admit one submit request (parse to ack queued)."});
+    fn(ServeMetricDef{"nosq_sweepd_job_service_time_ms", "histogram",
+        "Per-job time from worker dispatch to result delivery."});
+    // clang-format on
+}
+
+} // namespace serve
+} // namespace nosq
+
+#endif // NOSQ_SERVE_SERVE_METRICS_HH

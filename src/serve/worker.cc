@@ -11,6 +11,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include "common/logging.hh"
 #include "serve/fault.hh"
 #include "serve/protocol.hh"
 #include "sim/journal.hh"
@@ -35,6 +36,9 @@ napMillis(long ms)
 int
 workerMain(WorkerChannel *channel)
 {
+    // Re-tag the forked child so NOSQ_LOG_PREFIX attributes its
+    // lines to the worker, not the daemon it inherited from.
+    setLogRole("worker");
     const pid_t daemon = getppid();
     std::string line;
     while (!channel->stop.load(std::memory_order_acquire)) {

@@ -533,7 +533,7 @@ runSweepImpl(const std::vector<SweepJob> &jobs,
         // contract (skipped jobs count as done from the first
         // invocation) with one completion report.
         if (progress)
-            progress(jobs.size(), jobs.size());
+            progress(jobs.size(), jobs.size(), sweep_progress_bulk);
         return results;
     }
 
@@ -557,7 +557,7 @@ runSweepImpl(const std::vector<SweepJob> &jobs,
             runGuarded(jobs[i], i, results[i], failures);
             finish(i);
             if (progress)
-                progress(++done, jobs.size());
+                progress(++done, jobs.size(), i);
         }
         failures.throwIfFailed(results);
         return results;
@@ -576,7 +576,7 @@ runSweepImpl(const std::vector<SweepJob> &jobs,
                 // Increment under the same lock as the callback so
                 // reported counts are monotonic across workers.
                 std::lock_guard<std::mutex> lock(progress_mutex);
-                progress(++done, jobs.size());
+                progress(++done, jobs.size(), index);
             } else {
                 ++done;
             }

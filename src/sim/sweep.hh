@@ -333,9 +333,21 @@ class JobQueue
     bool closed = false;
 };
 
-/** Progress callback: (jobs completed so far, total jobs). */
-using SweepProgress =
-    std::function<void(std::size_t done, std::size_t total)>;
+/**
+ * Index value reported to SweepProgress when a call does not
+ * describe one specific job: the bulk "everything was already
+ * journaled" report uses it.
+ */
+inline constexpr std::size_t sweep_progress_bulk = ~std::size_t(0);
+
+/**
+ * Progress callback: (jobs completed so far, total jobs, index of
+ * the job that just finished). @p index is sweep_progress_bulk for
+ * a bulk report; live-progress consumers (obs/progress.hh) use it
+ * for the per-suite breakdown, counting-only consumers ignore it.
+ */
+using SweepProgress = std::function<void(
+    std::size_t done, std::size_t total, std::size_t index)>;
 
 /** Worker count from NOSQ_JOBS, else hardware concurrency. */
 unsigned defaultSweepWorkers();

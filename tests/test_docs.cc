@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ooo/sim_stats.hh"
+#include "serve/serve_metrics.hh"
 #include "sim/report.hh"
 
 namespace nosq {
@@ -167,11 +168,46 @@ TEST(Docs, CliReferenceMatchesHelpOutput)
     }
 }
 
+TEST(Docs, MetricsCatalogMatchesObservabilityDoc)
+{
+    // Both directions: every catalogued series is documented, and
+    // every `nosq_sweepd_*` token the doc mentions is a real series
+    // -- a metric cannot be added, renamed, or removed without
+    // updating docs/OBSERVABILITY.md.
+    const std::string doc =
+        readFile(sourcePath("docs/OBSERVABILITY.md"));
+    std::set<std::string> catalog;
+    serve::forEachServeMetric([&](const serve::ServeMetricDef &def) {
+        catalog.insert(def.name);
+        EXPECT_NE(doc.find("`" + std::string(def.name) + "`"),
+                  std::string::npos)
+            << "series '" << def.name << "' (forEachServeMetric) "
+            << "missing from docs/OBSERVABILITY.md";
+    });
+
+    const std::string stem = "nosq_sweepd_";
+    std::size_t pos = 0;
+    while ((pos = doc.find(stem, pos)) != std::string::npos) {
+        std::size_t end = pos;
+        while (end < doc.size() &&
+               (std::islower(static_cast<unsigned char>(doc[end])) ||
+                std::isdigit(static_cast<unsigned char>(doc[end])) ||
+                doc[end] == '_'))
+            ++end;
+        const std::string name = doc.substr(pos, end - pos);
+        EXPECT_TRUE(catalog.count(name))
+            << "docs/OBSERVABILITY.md mentions '" << name
+            << "' which is not in the serve metrics catalog";
+        pos = end;
+    }
+}
+
 TEST(Docs, MarkdownRelativeLinksResolve)
 {
     const std::vector<std::string> files = {
         "README.md", "ROADMAP.md", "docs/ARCHITECTURE.md",
-        "docs/counters.md", "docs/cli.md", "docs/SERVING.md"};
+        "docs/counters.md", "docs/cli.md", "docs/SERVING.md",
+        "docs/OBSERVABILITY.md"};
     for (const std::string &file : files) {
         const std::string text = readFile(sourcePath(file));
         const std::string dir =

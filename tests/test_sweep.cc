@@ -411,14 +411,22 @@ TEST(SweepProgress, ReportsEveryCompletion)
 {
     const std::vector<SweepJob> jobs = smallJobList();
     std::size_t calls = 0, last_done = 0;
-    runSweep(jobs, 2, [&](std::size_t done, std::size_t total) {
-        ++calls;
-        EXPECT_LE(done, total);
-        EXPECT_EQ(total, jobs.size());
-        last_done = done > last_done ? done : last_done;
-    });
+    std::vector<char> seen(jobs.size(), 0);
+    runSweep(jobs, 2,
+             [&](std::size_t done, std::size_t total,
+                 std::size_t index) {
+                 ++calls;
+                 EXPECT_LE(done, total);
+                 EXPECT_EQ(total, jobs.size());
+                 ASSERT_LT(index, jobs.size());
+                 seen[index] = 1;
+                 last_done = done > last_done ? done : last_done;
+             });
     EXPECT_EQ(calls, jobs.size());
     EXPECT_EQ(last_done, jobs.size());
+    // Every job index is reported exactly once.
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_TRUE(seen[i]) << "job " << i << " never reported";
 }
 
 // --- journal integration ---------------------------------------------------
@@ -486,8 +494,11 @@ TEST(SweepProgress, CountsJournaledJobsAsAlreadyDone)
         // Scoped: drops the journal lock before the second resume.
         SweepJournal journal = SweepJournal::resume(path);
         runSweep(jobs, journal, 2,
-                 [&](std::size_t done, std::size_t total) {
+                 [&](std::size_t done, std::size_t total,
+                     std::size_t index) {
                      EXPECT_EQ(total, jobs.size());
+                     // The only pending job is the last one.
+                     EXPECT_EQ(index, jobs.size() - 1);
                      reported.push_back(done);
                  });
     }
@@ -500,9 +511,12 @@ TEST(SweepProgress, CountsJournaledJobsAsAlreadyDone)
     SweepJournal full = SweepJournal::resume(path);
     reported.clear();
     runSweep(jobs, full, 2,
-             [&](std::size_t done, std::size_t total) {
+             [&](std::size_t done, std::size_t total,
+                 std::size_t index) {
                  reported.push_back(done);
                  EXPECT_EQ(total, jobs.size());
+                 // Bulk report: no single job finished.
+                 EXPECT_EQ(index, sweep_progress_bulk);
              });
     ASSERT_EQ(reported.size(), 1u);
     EXPECT_EQ(reported[0], jobs.size());

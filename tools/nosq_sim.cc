@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <utility>
@@ -34,6 +35,9 @@
 
 #include "common/table.hh"
 #include "memsys/coherence.hh"
+#include "obs/metrics.hh"
+#include "obs/pipe_trace.hh"
+#include "obs/progress.hh"
 #include "serve/client.hh"
 #include "serve/fault.hh"
 #include "sim/experiment.hh"
@@ -173,6 +177,12 @@ usage()
         "                        JSON (workers, executed,\n"
         "                        cache_hits, ...) and exit;\n"
         "                        requires --server\n"
+        "  --server-metrics      scrape the daemon's metrics\n"
+        "                        registry and print the Prometheus\n"
+        "                        text exposition (queue depth,\n"
+        "                        service-time histograms, fault\n"
+        "                        counters, ...) and exit; requires\n"
+        "                        --server\n"
         "  --retries N           total --server connection attempts\n"
         "                        before giving up; dropped\n"
         "                        connections, 'draining', and\n"
@@ -190,10 +200,23 @@ usage()
         "   configuration; the swept dimension wins on its own\n"
         "   knob, and --history takes a comma list as the\n"
         "   --sweep=history points)\n"
+        "observability:\n"
+        "  --trace-pipe SPEC     export a pipeline trace of the\n"
+        "                        single run as Chrome trace-event\n"
+        "                        JSON (chrome://tracing, Perfetto);\n"
+        "                        SPEC is FILE[:SKIP:COUNT]: trace\n"
+        "                        the COUNT instructions after the\n"
+        "                        first SKIP (default: first 50000).\n"
+        "                        Single-core single-run mode only\n"
         "validation mode:\n"
         "  --validate FILE       strict-parse FILE and check it\n"
         "                        against the nosq-sweep-v2 schema;\n"
         "                        exits nonzero on any violation\n"
+        "  --validate-trace FILE strict-parse FILE as a --trace-pipe\n"
+        "                        export: event shape plus\n"
+        "                        nondecreasing timestamps; prints\n"
+        "                        per-event-name counts and exits\n"
+        "                        nonzero on any violation\n"
         "perf mode:\n"
         "  --perf                time the simulator itself over the\n"
         "                        reference workload (serial) and\n"
@@ -571,12 +594,20 @@ runSweepMode(const SweepOptions &opt)
     } else {
         jobs = buildJobs(spec);
     }
+    // Live progress line: throttled, per-suite breakdown, and
+    // TTY-aware -- redirected stderr (CI logs) stays clean.
+    std::vector<std::string> job_suites;
+    job_suites.reserve(jobs.size());
+    for (const SweepJob &job : jobs) {
+        job_suites.push_back(suiteName(
+            job.profile ? job.profile->suite : job.suite));
+    }
+    obs::ProgressMeter meter(std::move(job_suites));
     SweepProgress progress;
-    if (!opt.json) {
-        progress = [](std::size_t done, std::size_t total) {
-            std::fprintf(stderr, "\r[%zu/%zu]", done, total);
-            if (done == total)
-                std::fputc('\n', stderr);
+    if (!opt.json && meter.enabled()) {
+        progress = [&meter](std::size_t done, std::size_t total,
+                            std::size_t index) {
+            meter.report(done, total, index);
         };
     }
 
@@ -627,6 +658,7 @@ runSweepMode(const SweepOptions &opt)
         retry.attempts = opt.retries > 0 ? opt.retries : 1;
         const bool served = serve::runSweepOnServer(
             opt.server, jobs, outcome, error, progress, retry);
+        meter.finish();
         if (serve::FaultInjector::global().enabled()) {
             // Let harnesses assert the client-side plan fired.
             std::fprintf(
@@ -655,11 +687,14 @@ runSweepMode(const SweepOptions &opt)
             results = journal
                 ? runSweep(jobs, *journal, opt.jobs, progress)
                 : runSweep(jobs, opt.jobs, progress);
+            meter.finish();
         } catch (const JournalError &e) {
             // Journal I/O failed outright (unwritable path).
+            meter.finish();
             std::fprintf(stderr, "%s\n", e.what());
             return 1;
         } catch (const SweepError &e) {
+            meter.finish();
             // Per-job failures were isolated by the engine: report
             // the summary (job indices + reasons), salvage the
             // completed runs (failed ones carry "valid": false in
@@ -753,6 +788,91 @@ runValidateMode(const std::string &path)
     return 0;
 }
 
+/**
+ * --validate-trace: strict-check a --trace-pipe export. The file
+ * must parse as JSON, carry a traceEvents array whose every event
+ * has the emitted shape (name/cat/ph/ts/pid/tid/args.seq), and its
+ * timestamps must be nondecreasing in file order. Prints per-name
+ * event counts so harnesses can assert specific events appeared.
+ */
+int
+runValidateTraceMode(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+        return 1;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(text, doc, &error)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    if (doc.kind != JsonValue::Kind::Object) {
+        std::fprintf(stderr, "%s: not a JSON object\n",
+                     path.c_str());
+        return 1;
+    }
+    const JsonValue *events = doc.find("traceEvents");
+    if (events == nullptr ||
+        events->kind != JsonValue::Kind::Array) {
+        std::fprintf(stderr, "%s: missing traceEvents array\n",
+                     path.c_str());
+        return 1;
+    }
+    std::map<std::string, std::uint64_t> by_name;
+    double prev_ts = -1.0;
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const JsonValue &e = events->array[i];
+        auto bad = [&](const char *what) {
+            std::fprintf(stderr, "%s: event %zu: %s\n",
+                         path.c_str(), i, what);
+            return 1;
+        };
+        if (e.kind != JsonValue::Kind::Object)
+            return bad("not an object");
+        const JsonValue *name = e.find("name");
+        if (name == nullptr ||
+            name->kind != JsonValue::Kind::String)
+            return bad("missing 'name'");
+        const JsonValue *cat = e.find("cat");
+        if (cat == nullptr || cat->kind != JsonValue::Kind::String)
+            return bad("missing 'cat'");
+        const JsonValue *ph = e.find("ph");
+        if (ph == nullptr || ph->kind != JsonValue::Kind::String ||
+            ph->string != "i")
+            return bad("'ph' is not \"i\"");
+        const JsonValue *ts = e.find("ts");
+        if (ts == nullptr || ts->kind != JsonValue::Kind::Number)
+            return bad("missing numeric 'ts'");
+        if (ts->number < prev_ts)
+            return bad("timestamps go backward");
+        prev_ts = ts->number;
+        const JsonValue *args = e.find("args");
+        if (args == nullptr ||
+            args->kind != JsonValue::Kind::Object ||
+            args->find("seq") == nullptr)
+            return bad("missing 'args.seq'");
+        ++by_name[name->string];
+    }
+    std::printf("%s: valid chrome trace (%zu event(s), "
+                "timestamps nondecreasing)\n",
+                path.c_str(), events->array.size());
+    for (const auto &[name, count] : by_name)
+        std::printf("  %s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(count));
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -801,7 +921,10 @@ main(int argc, char **argv)
     bool mshrs_set = false;
     bool prefetch_set = false;
     std::string validate_path;
+    std::string validate_trace_path;
+    std::string trace_pipe_spec;
     bool server_status = false;
+    bool server_metrics = false;
     SweepOptions sweep_opt;
 
     for (int i = 1; i < argc; ++i) {
@@ -943,6 +1066,17 @@ main(int argc, char **argv)
             sweep_opt.capacities_explicit = true;
         } else if (arg == "--validate") {
             validate_path = next();
+        } else if (arg == "--validate-trace") {
+            validate_trace_path = next();
+        } else if (arg == "--trace-pipe" ||
+                   arg.rfind("--trace-pipe=", 0) == 0) {
+            trace_pipe_spec =
+                arg == "--trace-pipe" ? next() : arg.substr(13);
+            if (trace_pipe_spec.empty()) {
+                std::fprintf(stderr, "--trace-pipe needs a "
+                             "FILE[:SKIP:COUNT] spec\n");
+                return 1;
+            }
         } else if (arg == "--jobs") {
             sweep_opt.jobs = static_cast<unsigned>(
                 std::strtoul(next(), nullptr, 10));
@@ -988,6 +1122,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--server-status") {
             server_status = true;
+        } else if (arg == "--server-metrics") {
+            server_metrics = true;
         } else if (arg == "--retries") {
             char *end = nullptr;
             const unsigned long v =
@@ -1007,6 +1143,8 @@ main(int argc, char **argv)
 
     if (!validate_path.empty())
         return runValidateMode(validate_path);
+    if (!validate_trace_path.empty())
+        return runValidateTraceMode(validate_trace_path);
 
     if (perf) {
         if (sweep) {
@@ -1081,6 +1219,21 @@ main(int argc, char **argv)
             return 1;
         }
         std::printf("%s\n", reply.c_str());
+        return 0;
+    }
+    if (server_metrics) {
+        if (sweep_opt.server.empty()) {
+            std::fprintf(stderr, "--server-metrics requires "
+                         "--server SOCK\n");
+            return 1;
+        }
+        std::string exposition, error;
+        if (!serve::fetchServerMetrics(sweep_opt.server, exposition,
+                                       error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 1;
+        }
+        std::fputs(exposition.c_str(), stdout);
         return 0;
     }
     if (!sweep_opt.server.empty() && !sweep) {
@@ -1167,6 +1320,12 @@ main(int argc, char **argv)
         return runSweepMode(sweep_opt);
     }
 
+    if (!trace_pipe_spec.empty() && sweep) {
+        std::fprintf(stderr, "--trace-pipe applies only to "
+                     "single-run mode\n");
+        return 1;
+    }
+
     if (bench.empty()) {
         usage();
         return 1;
@@ -1216,6 +1375,32 @@ main(int argc, char **argv)
                 delay ? "on" : "off", svw ? "on" : "off", mshrs,
                 prefetch, bus_occupancy ? "occupancy" : "flat");
 
+    // Pipeline trace export: parse and open the sink before the run
+    // so a bad spec or unwritable path fails before cycles are
+    // spent. Null tracer = byte-identical default behaviour.
+    std::optional<obs::PipeTracer> tracer;
+    if (!trace_pipe_spec.empty()) {
+        if (num_cores > 1) {
+            std::fprintf(stderr, "--trace-pipe applies only to "
+                         "single-core runs\n");
+            return 1;
+        }
+        obs::PipeTraceConfig trace_cfg;
+        std::string trace_error;
+        if (!obs::parsePipeTraceSpec(trace_pipe_spec, trace_cfg,
+                                     trace_error)) {
+            std::fprintf(stderr, "--trace-pipe: %s\n",
+                         trace_error.c_str());
+            return 1;
+        }
+        tracer.emplace(std::move(trace_cfg));
+        if (!tracer->open(trace_error)) {
+            std::fprintf(stderr, "--trace-pipe: %s\n",
+                         trace_error.c_str());
+            return 1;
+        }
+    }
+
     SimResult r;
     if (num_cores > 1) {
         std::vector<std::shared_ptr<const Program>> programs;
@@ -1242,8 +1427,23 @@ main(int argc, char **argv)
     } else {
         OooCore core(params,
                      ProgramCache::global().get(*profile, seed));
+        if (tracer)
+            core.setTracer(&*tracer);
         r = sampling.enabled ? core.runSampled(sampling)
                              : core.run(insts, warmup);
+    }
+
+    if (tracer) {
+        std::string trace_error;
+        if (!tracer->finish(trace_error)) {
+            std::fprintf(stderr, "--trace-pipe: %s\n",
+                         trace_error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "trace: %llu event(s) -> '%s'\n",
+                     static_cast<unsigned long long>(
+                         tracer->events()),
+                     tracer->config().path.c_str());
     }
 
     TextTable table;

@@ -19,6 +19,7 @@
 
 #include <unistd.h>
 
+#include "common/logging.hh"
 #include "serve/dispatcher.hh"
 #include "serve/fault.hh"
 
@@ -107,6 +108,9 @@ parseUnsigned(const char *text, unsigned &out)
 int
 main(int argc, char **argv)
 {
+    // Role tag for the NOSQ_LOG_PREFIX attribution prefix; forked
+    // workers re-tag themselves in workerMain().
+    nosq::setLogRole("daemon");
     nosq::serve::DispatcherOptions opts;
     opts.storePath = "nosq_store.jsonl";
     opts.stopFlag = &g_stop;
